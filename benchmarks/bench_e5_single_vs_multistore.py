@@ -1,0 +1,167 @@
+"""E5 — Demo step 3: vanilla single-store execution vs. ESTOCADA multi-store.
+
+The demo lets attendees compare, for each dataset, a fragment storing it "as
+such" in a DMS of its native data model against a multi-store fragmentation.
+We run a mixed Big-Data-Benchmark-style + marketplace workload against
+(a) everything in the relational store, and (b) the multi-store layout with
+key-value, parallel and materialized-join fragments, and compare execution
+effort.  Expected shape: the multi-store layout dominates on the mixed
+workload (key lookups and the personalized join improve most).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import AccessMethod, StorageDescriptor, StorageLayout
+from repro.core import Atom, ConjunctiveQuery, Constant
+from repro.workloads import BigDataConfig, generate_bigdata
+
+from conftest import (
+    add_materialized_user_product_fragment,
+    add_prefs_kv_fragment,
+    add_purchases_fragment,
+    add_users_fragment,
+    add_visits_fragment,
+    base_estocada,
+    view,
+)
+
+
+def _add_visits_in_pg(est, data):
+    """Single-store variant: browsing history lives in the relational store too."""
+    est.register_fragment(
+        StorageDescriptor(
+            "F_visits", "shop", "pg",
+            view("F_visits", ["?u", "?s", "?c", "?d"], [Atom("visits", ["?u", "?s", "?c", "?d"])],
+                 ("uid", "sku", "category", "duration_ms")),
+            StorageLayout("visits"), AccessMethod("scan"),
+        ),
+        rows=[{"uid": v["uid"], "sku": v["sku"], "category": v["category"], "duration_ms": v["duration_ms"]}
+              for v in data.weblog],
+    )
+
+
+def _single_store(data):
+    est = base_estocada()
+    add_users_fragment(est, data, indexes=())
+    add_purchases_fragment(est, data, indexes=())
+    _add_visits_in_pg(est, data)
+    return est
+
+
+def _multi_store(data):
+    est = base_estocada()
+    add_users_fragment(est, data)
+    add_prefs_kv_fragment(est, data)
+    add_purchases_fragment(est, data)
+    add_visits_fragment(est, data)
+    add_materialized_user_product_fragment(est, data)
+    return est
+
+
+def _workload(est, data):
+    rows = 0
+    execution_seconds = 0.0
+    queries = []
+    for uid in range(0, 40, 4):
+        queries.append(
+            ConjunctiveQuery("prefs", ["?pc"], [Atom("users", [Constant(uid), "?n", "?c", "?p", "?pc"])])
+        )
+        queries.append(
+            ConjunctiveQuery(
+                "personalized", ["?s", "?d"],
+                [Atom("purchases", [Constant(uid), "?s", "?c", "?q", "?pr"]),
+                 Atom("visits", [Constant(uid), "?s", "?c2", "?d"])],
+            )
+        )
+    for query in queries:
+        result = est.query(query)
+        rows += len(result.rows)
+        execution_seconds += result.elapsed_seconds
+    # One analytical SQL query (scan + aggregate) runs in both layouts.
+    result = est.query(
+        "SELECT category, COUNT(sku) AS n FROM purchases GROUP BY category", dataset="shop"
+    )
+    rows += len(result.rows)
+    execution_seconds += result.elapsed_seconds
+    return rows, execution_seconds
+
+
+def test_e5_single_store_workload(benchmark, market_data):
+    est = _single_store(market_data)
+    benchmark(lambda: _workload(est, market_data))
+
+
+def test_e5_multi_store_workload(benchmark, market_data):
+    est = _multi_store(market_data)
+    benchmark(lambda: _workload(est, market_data))
+
+
+def test_e5_report(market_data, capsys):
+    single = _single_store(market_data)
+    multi = _multi_store(market_data)
+    rows_single, seconds_single = _workload(single, market_data)
+    rows_multi, seconds_multi = _workload(multi, market_data)
+    scanned_single = sum(s.total_metrics.rows_scanned for s in single.catalog.stores().values())
+    scanned_multi = sum(s.total_metrics.rows_scanned for s in multi.catalog.stores().values())
+    with capsys.disabled():
+        print("\n[E5] vanilla single-store vs. ESTOCADA multi-store (demo step 3)")
+        print(f"  single-store: exec={seconds_single:.4f}s rows_scanned={scanned_single} answers={rows_single}")
+        print(f"  multi-store : exec={seconds_multi:.4f}s rows_scanned={scanned_multi} answers={rows_multi}")
+        print(f"  speedup: {seconds_single / seconds_multi:.2f}x")
+    assert rows_single == rows_multi
+    assert scanned_multi < scanned_single
+    assert seconds_multi < seconds_single
+
+
+def test_e5_bigdata_queries_run_on_both_layouts(market_data, capsys):
+    """Big Data Benchmark-style queries (scan, aggregate, join) run end to end."""
+    from repro.datamodel import TableSchema
+    from repro.stores import ParallelStore, RelationalStore
+    from repro import Estocada
+    from repro.workloads.bigdata import QUERY_1, QUERY_2, QUERY_3
+
+    data = generate_bigdata(BigDataConfig(pages=300, visits=1500, seed=5))
+    est = Estocada()
+    est.register_store("pg", RelationalStore("pg"))
+    est.register_store("spark", ParallelStore("spark"))
+    est.register_relational_dataset(
+        "bdb",
+        [
+            TableSchema("rankings", ("pageURL", "pageRank", "avgDuration"), primary_key=("pageURL",)),
+            TableSchema("uservisits", ("sourceIP", "destURL", "adRevenue", "countryCode")),
+        ],
+    )
+    est.register_fragment(
+        StorageDescriptor(
+            "F_rankings", "bdb", "pg",
+            view("F_rankings", ["?u", "?r", "?d"], [Atom("rankings", ["?u", "?r", "?d"])],
+                 ("pageURL", "pageRank", "avgDuration")),
+            StorageLayout("rankings"), AccessMethod("scan"),
+        ),
+        rows=data.rankings, indexes=("pageURL",),
+    )
+    est.register_fragment(
+        StorageDescriptor(
+            "F_uservisits", "bdb", "spark",
+            view("F_uservisits", ["?ip", "?u", "?rev", "?cc"],
+                 [Atom("uservisits", ["?ip", "?u", "?rev", "?cc"])],
+                 ("sourceIP", "destURL", "adRevenue", "countryCode")),
+            StorageLayout("uservisits"), AccessMethod("scan"),
+        ),
+        rows=[{k: v[k] for k in ("sourceIP", "destURL", "adRevenue", "countryCode")} for v in data.uservisits],
+        indexes=("destURL",),
+    )
+    q1 = est.query(QUERY_1, dataset="bdb")
+    q2 = est.query(QUERY_2, dataset="bdb")
+    q3 = est.query(QUERY_3, dataset="bdb")
+    expected_q1 = sum(1 for r in data.rankings if r["pageRank"] > 500)
+    with capsys.disabled():
+        print("\n[E5b] Big Data Benchmark-style queries over the hybrid layout")
+        print(f"  Q1 (scan)      rows={len(q1.rows)} (expected {expected_q1})")
+        print(f"  Q2 (aggregate) rows={len(q2.rows)}")
+        print(f"  Q3 (join+agg)  rows={len(q3.rows)} stores={sorted(q3.store_breakdown)}")
+    assert len(q1.rows) == expected_q1
+    assert len(q2.rows) == len({v["sourceIP"] for v in data.uservisits})
+    assert set(q3.store_breakdown) == {"pg", "spark"}

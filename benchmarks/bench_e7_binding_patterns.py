@@ -1,0 +1,76 @@
+"""E7 — Section III: the binding-pattern encoding yields only feasible rewritings.
+
+The key-value fragments can only be accessed with the key bound.  Rewriting a
+query that binds the key (a point lookup, or a join feeding the key) must
+produce a feasible plan using the key-value fragment; rewriting a query that
+scans by a non-key attribute must *not* route through the key-value fragment
+(the rewriting exists but is filtered as infeasible).  The benchmark measures
+the rewriting + feasibility-filtering pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.core import Atom, ConjunctiveQuery, Constant
+
+from conftest import add_prefs_kv_fragment, add_purchases_fragment, add_users_fragment, base_estocada
+
+
+def _build(data, with_relational_users=True):
+    est = base_estocada()
+    if with_relational_users:
+        add_users_fragment(est, data)
+    add_prefs_kv_fragment(est, data)
+    add_purchases_fragment(est, data)
+    return est
+
+
+def _key_bound_query(uid):
+    return ConjunctiveQuery("prefs", ["?pc"], [Atom("users", [Constant(uid), "?n", "?c", "?p", "?pc"])])
+
+
+def _key_fed_by_join_query():
+    return ConjunctiveQuery(
+        "prefs_of_buyers", ["?u", "?pc"],
+        [Atom("purchases", ["?u", Constant(5), "?c", "?q", "?pr"]),
+         Atom("users", ["?u", "?n", "?city", "?p", "?pc"])],
+    )
+
+
+def _unbound_key_query():
+    return ConjunctiveQuery(
+        "by_category", ["?u"], [Atom("users", ["?u", "?n", "?c", "?p", Constant("books")])]
+    )
+
+
+def test_e7_rewriting_with_feasibility_filtering(benchmark, market_data):
+    est = _build(market_data)
+    benchmark(lambda: est.explain(_key_fed_by_join_query()))
+
+
+def test_e7_report(market_data, capsys):
+    est_kv_only = _build(market_data, with_relational_users=False)
+    est_full = _build(market_data)
+
+    bound = est_kv_only.explain(_key_bound_query(9))
+    joined = est_kv_only.explain(_key_fed_by_join_query())
+    unbound = est_kv_only.explain(_unbound_key_query())
+    unbound_with_fallback = est_full.explain(_unbound_key_query())
+
+    with capsys.disabled():
+        print("\n[E7] access-pattern (binding) restrictions and feasible rewritings")
+        print(f"  key bound by constant : rewritings={len(bound.rewritings)} "
+              f"feasible={len(bound.feasible_rewritings)}")
+        print(f"  key fed by join       : rewritings={len(joined.rewritings)} "
+              f"feasible={len(joined.feasible_rewritings)} (BindJoin plan)")
+        print(f"  key never bound (KV only)   : rewritings={len(unbound.rewritings)} "
+              f"feasible={len(unbound.feasible_rewritings)}")
+        print(f"  key never bound (+relational): feasible plan uses "
+              f"{sorted({a.relation for a in unbound_with_fallback.chosen.rewriting.body})}")
+    # Point lookups and key-feeding joins are feasible through the KV fragment.
+    assert bound.feasible_rewritings
+    assert joined.feasible_rewritings
+    assert "BindJoin" in joined.plan_text()
+    # A non-key scan cannot be served by the KV fragment alone...
+    assert unbound.rewritings and not unbound.feasible_rewritings
+    # ...but the relational fragment provides the feasible alternative.
+    assert {a.relation for a in unbound_with_fallback.chosen.rewriting.body} == {"F_users"}

@@ -1,0 +1,188 @@
+"""Shared fixtures and deployment builders for the experiment benchmarks (E1–E8).
+
+Each benchmark reproduces one quantitative claim or demo step of the paper
+(see DESIGN.md section 5 and EXPERIMENTS.md).  The helpers here build the
+"before" and "after" store layouts of the marketplace scenario so individual
+benchmarks stay small.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Estocada
+from repro.catalog import AccessMethod, StorageDescriptor, StorageLayout
+from repro.core import Atom, ConjunctiveQuery, ViewDefinition
+from repro.datamodel import TableSchema
+from repro.stores import DocumentStore, FullTextStore, KeyValueStore, ParallelStore, RelationalStore
+from repro.workloads import MarketplaceConfig, generate_marketplace
+
+
+def view(name, head, body, columns):
+    """Shorthand for a named view definition with column names."""
+    return ViewDefinition(name, ConjunctiveQuery(name, head, body), column_names=columns)
+
+
+SHOP_TABLES = [
+    TableSchema("users", ("uid", "name", "city", "payment", "preferred_category"), primary_key=("uid",)),
+    TableSchema("purchases", ("uid", "sku", "category", "quantity", "price")),
+    TableSchema("visits", ("uid", "sku", "category", "duration_ms")),
+    TableSchema("carts", ("cart_id", "uid", "sku", "quantity")),
+    TableSchema("products", ("sku", "title", "description", "category", "price"), primary_key=("sku",)),
+]
+
+
+def cart_rows(data):
+    rows = []
+    for cart in data.carts:
+        for item in cart["items"]:
+            rows.append({"cart_id": cart["_id"], "uid": cart["uid"], "sku": item["sku"], "quantity": item["quantity"]})
+    return rows
+
+
+def user_rows(data):
+    return [
+        {"uid": u["uid"], "name": u["name"], "city": u["city"], "payment": u["payment"],
+         "preferred_category": u["preferred_category"]}
+        for u in data.users
+    ]
+
+
+def visit_rows(data):
+    return [
+        {"uid": v["uid"], "sku": v["sku"], "category": v["category"], "duration_ms": v["duration_ms"]}
+        for v in data.weblog
+    ]
+
+
+def base_estocada(algorithm: str = "pacb") -> Estocada:
+    """An ESTOCADA instance with all five store kinds and the shop dataset registered."""
+    est = Estocada(algorithm=algorithm)
+    est.register_store("pg", RelationalStore("pg"))
+    est.register_store("redis", KeyValueStore("redis"))
+    est.register_store("mongo", DocumentStore("mongo"))
+    est.register_store("solr", FullTextStore("solr"))
+    est.register_store("spark", ParallelStore("spark"))
+    est.register_relational_dataset("shop", SHOP_TABLES)
+    return est
+
+
+def add_users_fragment(est, data, indexes=("uid",)):
+    est.register_fragment(
+        StorageDescriptor(
+            "F_users", "shop", "pg",
+            view("F_users", ["?u", "?n", "?c", "?p", "?pc"],
+                 [Atom("users", ["?u", "?n", "?c", "?p", "?pc"])],
+                 ("uid", "name", "city", "payment", "preferred_category")),
+            StorageLayout("users"), AccessMethod("scan"),
+        ),
+        rows=user_rows(data), indexes=indexes,
+    )
+
+
+def add_prefs_kv_fragment(est, data):
+    est.register_fragment(
+        StorageDescriptor(
+            "F_prefs", "shop", "redis",
+            view("F_prefs", ["?u", "?pc"], [Atom("users", ["?u", "?n", "?c", "?p", "?pc"])],
+                 ("uid", "preferred_category")),
+            StorageLayout("prefs"), AccessMethod("lookup", key_columns=("uid",)),
+        ),
+        rows=[{"uid": u["uid"], "preferred_category": u["preferred_category"]} for u in data.users],
+    )
+
+
+def add_carts_mongo_fragment(est, data, indexes=("cart_id", "uid")):
+    est.register_fragment(
+        StorageDescriptor(
+            "F_carts", "shop", "mongo",
+            view("F_carts", ["?cid", "?u", "?s", "?q"], [Atom("carts", ["?cid", "?u", "?s", "?q"])],
+                 ("cart_id", "uid", "sku", "quantity")),
+            StorageLayout("carts"), AccessMethod("scan"),
+        ),
+        rows=cart_rows(data), indexes=indexes,
+    )
+
+
+def add_carts_kv_fragment(est, data):
+    est.register_fragment(
+        StorageDescriptor(
+            "F_carts_kv", "shop", "redis",
+            view("F_carts_kv", ["?cid", "?u", "?s", "?q"], [Atom("carts", ["?cid", "?u", "?s", "?q"])],
+                 ("cart_id", "uid", "sku", "quantity")),
+            StorageLayout("carts_kv"), AccessMethod("lookup", key_columns=("cart_id",)),
+        ),
+        rows=cart_rows(data),
+    )
+
+
+def add_purchases_fragment(est, data, indexes=("uid", "sku")):
+    est.register_fragment(
+        StorageDescriptor(
+            "F_purchases", "shop", "pg",
+            view("F_purchases", ["?u", "?s", "?c", "?q", "?pr"],
+                 [Atom("purchases", ["?u", "?s", "?c", "?q", "?pr"])],
+                 ("uid", "sku", "category", "quantity", "price")),
+            StorageLayout("purchases"), AccessMethod("scan"),
+        ),
+        rows=data.purchases(), indexes=indexes,
+    )
+
+
+def add_visits_fragment(est, data, indexes=("uid",)):
+    est.register_fragment(
+        StorageDescriptor(
+            "F_visits", "shop", "spark",
+            view("F_visits", ["?u", "?s", "?c", "?d"], [Atom("visits", ["?u", "?s", "?c", "?d"])],
+                 ("uid", "sku", "category", "duration_ms")),
+            StorageLayout("visits"), AccessMethod("scan"),
+        ),
+        rows=visit_rows(data), indexes=indexes,
+    )
+
+
+def add_catalog_fragment(est, data):
+    est.register_fragment(
+        StorageDescriptor(
+            "F_catalog", "shop", "solr",
+            view("F_catalog", ["?s", "?t", "?d", "?c", "?p"],
+                 [Atom("products", ["?s", "?t", "?d", "?c", "?p"])],
+                 ("sku", "title", "description", "category", "price")),
+            StorageLayout("catalog"), AccessMethod("scan"),
+        ),
+        rows=data.products, indexes=("title", "description"),
+    )
+
+
+def add_materialized_user_product_fragment(est, data):
+    """The paper's purchases ⋈ browsing-history view, materialized in Spark."""
+    definition = ConjunctiveQuery(
+        "F_user_product",
+        ["?u", "?s", "?c", "?d"],
+        [Atom("purchases", ["?u", "?s", "?c", "?q", "?pr"]), Atom("visits", ["?u", "?s", "?c2", "?d"])],
+    )
+    by_user_sku = {}
+    for p in data.purchases():
+        by_user_sku.setdefault((p["uid"], p["sku"]), p)
+    rows = []
+    for v in data.weblog:
+        p = by_user_sku.get((v["uid"], v["sku"]))
+        if p is not None:
+            rows.append({"uid": v["uid"], "sku": v["sku"], "category": p["category"], "duration_ms": v["duration_ms"]})
+    est.register_fragment(
+        StorageDescriptor(
+            "F_user_product", "shop", "spark",
+            ViewDefinition("F_user_product", definition, column_names=("uid", "sku", "category", "duration_ms")),
+            StorageLayout("user_product"), AccessMethod("scan"),
+        ),
+        rows=rows, indexes=("uid",),
+    )
+    return len(rows)
+
+
+@pytest.fixture(scope="session")
+def market_data():
+    """Marketplace data shared by all benchmarks (larger than the unit-test fixture)."""
+    return generate_marketplace(
+        MarketplaceConfig(users=300, products=400, orders=1200, carts=250, log_lines=6000, seed=7)
+    )

@@ -1,0 +1,78 @@
+"""Quickstart: one dataset, two stores, transparent rewriting.
+
+A ``users`` dataset is stored twice: as-such in the relational store and as a
+key-value collection keyed on ``uid``.  The application keeps issuing SQL;
+ESTOCADA rewrites each query over the registered fragments, picks the cheapest
+feasible plan (the key-value lookup for point queries, the relational scan for
+everything else) and executes it.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import Estocada
+from repro.catalog import AccessMethod, StorageDescriptor, StorageLayout
+from repro.core import Atom, ConjunctiveQuery, ViewDefinition
+from repro.datamodel import TableSchema
+from repro.stores import KeyValueStore, RelationalStore
+
+
+def main() -> None:
+    est = Estocada()
+    est.register_store("pg", RelationalStore("pg"))
+    est.register_store("redis", KeyValueStore("redis"))
+    est.register_relational_dataset(
+        "app", [TableSchema("users", ("uid", "name", "city"), primary_key=("uid",))]
+    )
+
+    users = [
+        {"uid": 1, "name": "ana", "city": "paris"},
+        {"uid": 2, "name": "bob", "city": "lyon"},
+        {"uid": 3, "name": "cleo", "city": "paris"},
+    ]
+
+    # Fragment 1: the users table stored as-such in the relational store.
+    full_view = ViewDefinition(
+        "F_users",
+        ConjunctiveQuery("F_users", ["?u", "?n", "?c"], [Atom("users", ["?u", "?n", "?c"])]),
+        column_names=("uid", "name", "city"),
+    )
+    est.register_fragment(
+        StorageDescriptor("F_users", "app", "pg", full_view, StorageLayout("users"), AccessMethod("scan")),
+        rows=users,
+    )
+
+    # Fragment 2: a key-value projection keyed on uid (only reachable by key).
+    kv_view = ViewDefinition(
+        "F_users_kv",
+        ConjunctiveQuery("F_users_kv", ["?u", "?n"], [Atom("users", ["?u", "?n", "?c"])]),
+        column_names=("uid", "name"),
+    )
+    est.register_fragment(
+        StorageDescriptor(
+            "F_users_kv", "app", "redis", kv_view, StorageLayout("users_kv"),
+            AccessMethod("lookup", key_columns=("uid",)),
+        ),
+        rows=[{"uid": u["uid"], "name": u["name"]} for u in users],
+    )
+
+    point = "SELECT name FROM users WHERE uid = 2"
+    scan = "SELECT name FROM users WHERE city = 'paris'"
+
+    print("== explain:", point)
+    explanation = est.explain(point, dataset="app")
+    for ranked in explanation.ranked_plans:
+        fragments = sorted({a.relation for a in ranked.rewriting.body})
+        print(f"   candidate {fragments} estimated cost {ranked.estimate.total_cost:.1f}")
+    print(explanation.plan_text())
+
+    print("== run:", point)
+    result = est.query(point, dataset="app")
+    print("   rows:", result.rows, "| stores used:", sorted(result.store_breakdown))
+
+    print("== run:", scan)
+    result = est.query(scan, dataset="app")
+    print("   rows:", result.rows, "| stores used:", sorted(result.store_breakdown))
+
+
+if __name__ == "__main__":
+    main()

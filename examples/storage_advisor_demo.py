@@ -1,0 +1,120 @@
+"""Storage-advisor demo (the paper's demonstration step 4).
+
+Starting from an untuned deployment (every fragment stored as-such, no
+secondary indexes), the advisor analyses a weighted workload, recommends new
+fragments (key-value projections for the key lookups, a materialized nested
+join for the personalized search), and the example materializes them and
+shows how the selected plans change.
+
+Run with:  python examples/storage_advisor_demo.py
+"""
+
+from repro import Estocada
+from repro.advisor import WorkloadQuery
+from repro.catalog import AccessMethod, StorageDescriptor, StorageLayout
+from repro.core import Atom, ConjunctiveQuery, Constant, ViewDefinition
+from repro.datamodel import TableSchema
+from repro.stores import KeyValueStore, ParallelStore, RelationalStore
+from repro.workloads import MarketplaceConfig, generate_marketplace
+
+
+def view(name, head, body, columns):
+    return ViewDefinition(name, ConjunctiveQuery(name, head, body), column_names=columns)
+
+
+def build(data):
+    est = Estocada()
+    est.register_store("pg", RelationalStore("pg"))
+    est.register_store("redis", KeyValueStore("redis"))
+    est.register_store("spark", ParallelStore("spark"))
+    est.register_relational_dataset(
+        "shop",
+        [
+            TableSchema("users", ("uid", "name", "city", "payment", "preferred_category"), primary_key=("uid",)),
+            TableSchema("purchases", ("uid", "sku", "category", "quantity", "price")),
+            TableSchema("visits", ("uid", "sku", "category", "duration_ms")),
+        ],
+    )
+    est.register_fragment(
+        StorageDescriptor(
+            "F_users", "shop", "pg",
+            view("F_users", ["?u", "?n", "?c", "?p", "?pc"],
+                 [Atom("users", ["?u", "?n", "?c", "?p", "?pc"])],
+                 ("uid", "name", "city", "payment", "preferred_category")),
+            StorageLayout("users"), AccessMethod("scan")),
+        rows=[{"uid": u["uid"], "name": u["name"], "city": u["city"], "payment": u["payment"],
+               "preferred_category": u["preferred_category"]} for u in data.users])
+    est.register_fragment(
+        StorageDescriptor(
+            "F_purchases", "shop", "pg",
+            view("F_purchases", ["?u", "?s", "?c", "?q", "?pr"],
+                 [Atom("purchases", ["?u", "?s", "?c", "?q", "?pr"])],
+                 ("uid", "sku", "category", "quantity", "price")),
+            StorageLayout("purchases"), AccessMethod("scan")),
+        rows=data.purchases())
+    est.register_fragment(
+        StorageDescriptor(
+            "F_visits", "shop", "spark",
+            view("F_visits", ["?u", "?s", "?c", "?d"], [Atom("visits", ["?u", "?s", "?c", "?d"])],
+                 ("uid", "sku", "category", "duration_ms")),
+            StorageLayout("visits"), AccessMethod("scan")),
+        rows=[{"uid": v["uid"], "sku": v["sku"], "category": v["category"], "duration_ms": v["duration_ms"]}
+              for v in data.weblog])
+    return est
+
+
+def main() -> None:
+    data = generate_marketplace(MarketplaceConfig(users=200, products=300, orders=800, carts=150, log_lines=3000))
+    est = build(data)
+
+    prefs = ConjunctiveQuery("prefs_lookup", ["?pc"],
+                             [Atom("users", [Constant(3), "?n", "?c", "?p", "?pc"])])
+    personalized = ConjunctiveQuery(
+        "personalized", ["?s"],
+        [Atom("purchases", [Constant(3), "?s", "?c", "?q", "?pr"]),
+         Atom("visits", [Constant(3), "?s", "?c2", "?d"])])
+    workload = [WorkloadQuery(prefs, weight=10.0), WorkloadQuery(personalized, weight=4.0)]
+
+    print("== advisor analysis of the workload")
+    report = est.recommend_fragments(workload)
+    print(f"   baseline estimated workload cost: {report.baseline_cost:.1f}")
+    print(f"   estimated cost after additions:   {report.improved_cost:.1f} "
+          f"(improvement {report.improvement_ratio():.0%})")
+    for recommendation in report.additions:
+        summary = recommendation.describe()
+        print(f"   + {summary['fragment']}: {summary['reason']}")
+        print(f"       target model {summary['target_model']} (store {summary['target_store']}), "
+              f"estimated benefit {summary['benefit']:.1f}")
+    if report.drops:
+        print(f"   - candidates to drop: {report.drops}")
+
+    print("== plan for the personalized search before accepting recommendations")
+    print(est.explain(personalized).plan_text())
+
+    # Accept the idea behind the join recommendation: materialize it in Spark.
+    definition = ConjunctiveQuery(
+        "F_user_product", ["?u", "?s", "?c", "?d"],
+        [Atom("purchases", ["?u", "?s", "?c", "?q", "?pr"]), Atom("visits", ["?u", "?s", "?c2", "?d"])])
+    by_user_sku = {}
+    for p in data.purchases():
+        by_user_sku.setdefault((p["uid"], p["sku"]), p)
+    rows = [
+        {"uid": v["uid"], "sku": v["sku"], "category": by_user_sku[(v["uid"], v["sku"])]["category"],
+         "duration_ms": v["duration_ms"]}
+        for v in data.weblog if (v["uid"], v["sku"]) in by_user_sku
+    ]
+    est.register_fragment(
+        StorageDescriptor(
+            "F_user_product", "shop", "spark",
+            ViewDefinition("F_user_product", definition, column_names=("uid", "sku", "category", "duration_ms")),
+            StorageLayout("user_product"), AccessMethod("scan")),
+        rows=rows, indexes=("uid",))
+
+    print("== plan for the personalized search after materializing the recommendation")
+    print(est.explain(personalized).plan_text())
+    result = est.query(personalized)
+    print(f"   executed via {sorted(result.store_breakdown)}; {len(result.rows)} answers")
+
+
+if __name__ == "__main__":
+    main()

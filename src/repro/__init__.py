@@ -1,0 +1,25 @@
+"""repro — a reproduction of ESTOCADA (ICDE 2016).
+
+ESTOCADA is a flexible hybrid (poly-)store: one logical dataset is stored as a
+set of possibly overlapping fragments across heterogeneous data management
+systems, and application queries are answered by view-based rewriting under
+constraints (Provenance-Aware Chase & Backchase) followed by cross-store
+execution.
+
+The top-level facade is :class:`repro.Estocada`; the rewriting engine lives in
+:mod:`repro.core`; the simulated store substrates in :mod:`repro.stores`.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__", "Estocada"]
+
+
+def __getattr__(name: str):
+    # Lazy import keeps `import repro` cheap and avoids import cycles while the
+    # facade pulls in every subsystem.
+    if name == "Estocada":
+        from repro.estocada import Estocada
+
+        return Estocada
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

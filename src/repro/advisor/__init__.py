@@ -1,0 +1,16 @@
+"""The Storage Advisor: candidate enumeration, heuristics and recommendations."""
+
+from repro.advisor.advisor import AdvisorReport, Recommendation, StorageAdvisor
+from repro.advisor.candidates import CandidateFragment, WorkloadQuery, enumerate_candidates
+from repro.advisor.heuristics import CandidateScore, greedy_select
+
+__all__ = [
+    "StorageAdvisor",
+    "AdvisorReport",
+    "Recommendation",
+    "WorkloadQuery",
+    "CandidateFragment",
+    "enumerate_candidates",
+    "CandidateScore",
+    "greedy_select",
+]

@@ -1,0 +1,330 @@
+"""The Storage Advisor: recommend adding or dropping fragments for a workload.
+
+The advisor reduces fragment recommendation to relational view selection
+under constraints, exactly as the paper sketches: candidates are enumerated
+from the workload (:mod:`repro.advisor.candidates`), each candidate's benefit
+is estimated by re-running the *rewriting + cost estimation* pipeline with
+the candidate hypothetically added, and a greedy benefit-per-space heuristic
+picks the final recommendation.  Rarely used or under-performing existing
+fragments are flagged for dropping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.advisor.candidates import CandidateFragment, WorkloadQuery, enumerate_candidates
+from repro.advisor.heuristics import CandidateScore, greedy_select
+from repro.catalog.statistics import FragmentStatistics, StatisticsCatalog
+from repro.core.query import ConjunctiveQuery
+from repro.core.rewriting import Rewriter
+from repro.core.terms import Variable
+from repro.core.views import ViewDefinition
+from repro.cost.cardinality import CardinalityEstimator
+from repro.cost.cost_model import CostModel
+from repro.errors import AdvisorError
+from repro.translation.grouping import AtomAccess
+from repro.translation.planner import Planner
+
+__all__ = ["Recommendation", "AdvisorReport", "StorageAdvisor"]
+
+
+@dataclass(slots=True)
+class Recommendation:
+    """One recommended fragment addition."""
+
+    candidate: CandidateFragment
+    estimated_benefit: float
+    estimated_space: float
+    target_store: str | None
+
+    def describe(self) -> Mapping[str, object]:
+        """A JSON-friendly description of the recommendation."""
+        return {
+            "fragment": self.candidate.name,
+            "definition": repr(self.candidate.definition),
+            "target_model": self.candidate.target_model,
+            "target_store": self.target_store,
+            "benefit": self.estimated_benefit,
+            "space": self.estimated_space,
+            "reason": self.candidate.reason,
+        }
+
+
+@dataclass(slots=True)
+class AdvisorReport:
+    """The advisor's output: additions, drops and the cost summary."""
+
+    additions: list[Recommendation] = field(default_factory=list)
+    drops: list[str] = field(default_factory=list)
+    baseline_cost: float = 0.0
+    improved_cost: float = 0.0
+
+    def improvement_ratio(self) -> float:
+        """Fraction of the baseline workload cost saved by the recommendations."""
+        if self.baseline_cost <= 0:
+            return 0.0
+        return max(0.0, (self.baseline_cost - self.improved_cost) / self.baseline_cost)
+
+
+class StorageAdvisor:
+    """Recommends fragments to add (and redundant ones to drop) for a workload."""
+
+    def __init__(self, estocada) -> None:
+        self._estocada = estocada
+
+    # -- cost estimation helpers ----------------------------------------------------------
+    def _query_cost(
+        self,
+        query: ConjunctiveQuery,
+        extra_views: Sequence[ViewDefinition] = (),
+        hypothetical_statistics: Mapping[str, FragmentStatistics] | None = None,
+        bound_parameters: Sequence[Variable] = (),
+    ) -> float:
+        """Best-plan cost of ``query`` with optionally added hypothetical views."""
+        manager = self._estocada.catalog
+        views = manager.view_definitions() + list(extra_views)
+        if not views:
+            return float("inf")
+        rewriter = Rewriter(
+            views=views,
+            schema_constraints=manager.schema_constraints(),
+            access_patterns=manager.access_pattern_registry(),
+            algorithm="pacb",
+        )
+        outcome = rewriter.rewrite(query, bound_parameters=bound_parameters)
+        if not outcome.feasible_rewritings:
+            return float("inf")
+        statistics = _HypotheticalStatistics(
+            self._estocada.statistics, hypothetical_statistics or {}
+        )
+        cost_model = CostModel(statistics)  # type: ignore[arg-type]
+        best = float("inf")
+        planner = _HypotheticalPlanner(manager, extra_views)
+        for rewriting in outcome.feasible_rewritings:
+            try:
+                groups = planner.groups_for(rewriting, bound_parameters)
+            except Exception:
+                continue
+            estimate = cost_model.estimate_groups(rewriting.name, groups)
+            best = min(best, estimate.total_cost)
+        return best
+
+    def _candidate_statistics(self, candidate: CandidateFragment) -> FragmentStatistics:
+        """Rough statistics of a not-yet-materialized candidate.
+
+        The candidate's cardinality is approximated by the product of the
+        base-fragment cardinalities divided by the join selectivities — here
+        simplified to the max base cardinality, a deliberately conservative
+        figure for a materialized join.
+        """
+        manager = self._estocada.catalog
+        base_cardinality = 1
+        for atom in candidate.definition.body:
+            for descriptor in manager.fragments():
+                if descriptor.view.definition.relations() == frozenset({atom.relation}):
+                    base_cardinality = max(
+                        base_cardinality,
+                        self._estocada.statistics.get(descriptor.fragment_name).cardinality,
+                    )
+        distinct = {f"c{i}": base_cardinality for i in range(candidate.arity())}
+        if candidate.target_model == "nested":
+            # The paper indexes materialized nested views by the lookup columns
+            # (user ID and product category); assume the same at costing time.
+            indexed = frozenset(f"c{i}" for i in range(candidate.arity()))
+        else:
+            indexed = frozenset(candidate.key_columns)
+        return FragmentStatistics(
+            fragment=candidate.name,
+            cardinality=base_cardinality,
+            distinct_values=distinct,
+            indexed_columns=indexed,
+        )
+
+    # -- the recommendation pipeline ----------------------------------------------------------
+    def recommend(
+        self,
+        workload: Sequence[WorkloadQuery],
+        space_budget: float | None = None,
+        max_additions: int | None = None,
+        drop_threshold: float = 0.0,
+    ) -> AdvisorReport:
+        """Produce an :class:`AdvisorReport` for the workload."""
+        if not workload:
+            raise AdvisorError("the advisor needs a non-empty workload")
+        report = AdvisorReport()
+
+        baseline_costs: dict[str, float] = {}
+        for entry in workload:
+            parameters = tuple(Variable(name) for name in entry.bound_columns)
+            baseline_costs[entry.query.name] = self._query_cost(
+                entry.query, bound_parameters=parameters
+            )
+        report.baseline_cost = sum(
+            baseline_costs[entry.query.name] * entry.weight
+            for entry in workload
+            if baseline_costs[entry.query.name] != float("inf")
+        )
+
+        candidates = enumerate_candidates(workload)
+        scores: list[CandidateScore] = []
+        for candidate in candidates:
+            statistics = self._candidate_statistics(candidate)
+            view = ViewDefinition(
+                name=candidate.name,
+                definition=candidate.definition,
+                column_names=tuple(f"c{i}" for i in range(candidate.arity())),
+            )
+            benefit = 0.0
+            for entry in workload:
+                parameters = tuple(Variable(name) for name in entry.bound_columns)
+                baseline = baseline_costs[entry.query.name]
+                if baseline == float("inf"):
+                    continue
+                with_candidate = self._query_cost(
+                    entry.query,
+                    extra_views=[view],
+                    hypothetical_statistics={candidate.name: statistics},
+                    bound_parameters=parameters,
+                )
+                if with_candidate < baseline:
+                    benefit += (baseline - with_candidate) * entry.weight
+            space = float(statistics.cardinality * candidate.arity())
+            scores.append(CandidateScore(candidate=candidate, benefit=benefit, space=space))
+
+        selected = greedy_select(scores, space_budget=space_budget)
+        if max_additions is not None:
+            selected = selected[:max_additions]
+        for score in selected:
+            report.additions.append(
+                Recommendation(
+                    candidate=score.candidate,
+                    estimated_benefit=score.benefit,
+                    estimated_space=score.space,
+                    target_store=self._suggest_store(score.candidate),
+                )
+            )
+
+        report.drops = self._find_droppable(workload, drop_threshold)
+        report.improved_cost = max(
+            report.baseline_cost - sum(r.estimated_benefit for r in report.additions), 0.0
+        )
+        return report
+
+    def _suggest_store(self, candidate: CandidateFragment) -> str | None:
+        """Pick a registered store matching the candidate's target data model."""
+        for name, store in self._estocada.catalog.stores().items():
+            if store.capabilities().data_model == candidate.target_model:
+                return name
+        return None
+
+    def _find_droppable(
+        self, workload: Sequence[WorkloadQuery], drop_threshold: float
+    ) -> list[str]:
+        """Fragments no workload query's best rewriting uses."""
+        manager = self._estocada.catalog
+        used: set[str] = set()
+        rewriter = Rewriter(
+            views=manager.view_definitions(),
+            schema_constraints=manager.schema_constraints(),
+            access_patterns=manager.access_pattern_registry(),
+            algorithm="pacb",
+        )
+        for entry in workload:
+            parameters = tuple(Variable(name) for name in entry.bound_columns)
+            try:
+                outcome = rewriter.rewrite(entry.query, bound_parameters=parameters)
+            except Exception:
+                continue
+            for rewriting in outcome.feasible_rewritings:
+                used.update(rewriting.relations())
+        droppable = [
+            descriptor.fragment_name
+            for descriptor in manager.fragments()
+            if descriptor.fragment_name not in used
+        ]
+        del drop_threshold  # reserved for future cost-aware dropping
+        return droppable
+
+
+class _HypotheticalStatistics:
+    """Statistics catalog overlay adding not-yet-materialized candidates."""
+
+    def __init__(
+        self, base: StatisticsCatalog, overlay: Mapping[str, FragmentStatistics]
+    ) -> None:
+        self._base = base
+        self._overlay = dict(overlay)
+
+    def get(self, fragment: str) -> FragmentStatistics:
+        if fragment in self._overlay:
+            return self._overlay[fragment]
+        return self._base.get(fragment)
+
+
+class _HypotheticalPlanner:
+    """Builds delegation groups treating hypothetical views as ordinary atoms.
+
+    Candidates are not registered in the catalog, so the regular planner
+    cannot resolve them; this shim produces the per-atom accesses needed for
+    cost estimation only (hypothetical atoms get a pseudo-descriptor bound to
+    a store of the candidate's target data model, if one is registered).
+    """
+
+    def __init__(self, manager, extra_views: Sequence[ViewDefinition]) -> None:
+        self._manager = manager
+        self._extra = {view.name: view for view in extra_views}
+
+    def groups_for(self, rewriting: ConjunctiveQuery, bound_parameters: Sequence[Variable]):
+        from repro.catalog.descriptors import AccessMethod, StorageDescriptor, StorageLayout
+        from repro.translation.grouping import group_for_delegation, order_atoms
+
+        hypothetical_names = {
+            name for name in rewriting.relations() if name in self._extra
+        }
+        if not hypothetical_names:
+            return group_for_delegation(
+                order_atoms(rewriting, self._manager, bound_parameters=tuple(bound_parameters))
+            )
+
+        # Register temporary descriptors, plan, then roll back.
+        added: list[str] = []
+        try:
+            for name in hypothetical_names:
+                view = self._extra[name]
+                store_name = self._pick_store(view)
+                if store_name is None:
+                    raise AdvisorError(
+                        f"no registered store can host hypothetical fragment {name!r}"
+                    )
+                descriptor = StorageDescriptor(
+                    fragment_name=name,
+                    dataset=self._any_dataset(),
+                    store=store_name,
+                    view=view,
+                    layout=StorageLayout(collection=f"__hypothetical_{name}"),
+                    access=AccessMethod(kind="scan"),
+                )
+                self._manager.register_fragment(descriptor)
+                added.append(name)
+            ordered = order_atoms(
+                rewriting, self._manager, bound_parameters=tuple(bound_parameters)
+            )
+            return group_for_delegation(ordered)
+        finally:
+            for name in added:
+                self._manager.drop_fragment(name)
+
+    def _pick_store(self, view: ViewDefinition) -> str | None:
+        stores = self._manager.stores()
+        for name, store in stores.items():
+            if store.capabilities().supports_join:
+                return name
+        return next(iter(stores), None)
+
+    def _any_dataset(self) -> str:
+        datasets = self._manager.datasets()
+        if not datasets:
+            raise AdvisorError("no dataset registered")
+        return next(iter(datasets))

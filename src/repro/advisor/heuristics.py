@@ -1,0 +1,64 @@
+"""Benefit estimation and greedy selection heuristics for the storage advisor.
+
+The demo paper presents "simple heuristics" for recommending fragments; we
+implement a classical greedy benefit-per-space selection:
+
+* the *benefit* of a candidate for a workload query is the difference between
+  the query's current best plan cost and its best plan cost if the candidate
+  were available (both estimated with the cost model, never executed);
+* the *space* charge of a candidate is its estimated row count times its
+  column count;
+* candidates are picked greedily by benefit/space ratio until the space
+  budget is exhausted or no candidate improves the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.advisor.candidates import CandidateFragment, WorkloadQuery
+
+__all__ = ["CandidateScore", "greedy_select"]
+
+
+@dataclass(slots=True)
+class CandidateScore:
+    """The estimated benefit, space and ratio of one candidate fragment."""
+
+    candidate: CandidateFragment
+    benefit: float
+    space: float
+
+    @property
+    def ratio(self) -> float:
+        """Benefit per unit of space (the greedy selection key)."""
+        return self.benefit / self.space if self.space > 0 else self.benefit
+
+
+def greedy_select(
+    scores: Sequence[CandidateScore],
+    space_budget: float | None = None,
+    minimum_benefit: float = 1e-9,
+) -> list[CandidateScore]:
+    """Greedy benefit-per-space selection under an optional space budget."""
+    chosen: list[CandidateScore] = []
+    used_space = 0.0
+    for score in sorted(scores, key=lambda s: s.ratio, reverse=True):
+        if score.benefit <= minimum_benefit:
+            continue
+        if space_budget is not None and used_space + score.space > space_budget:
+            continue
+        chosen.append(score)
+        used_space += score.space
+    return chosen
+
+
+def weighted_workload_cost(
+    per_query_costs: Mapping[str, float], workload: Sequence[WorkloadQuery]
+) -> float:
+    """Total workload cost: per-query cost weighted by query frequency."""
+    total = 0.0
+    for entry in workload:
+        total += per_query_costs.get(entry.query.name, 0.0) * entry.weight
+    return total

@@ -1,0 +1,16 @@
+"""Catalog: storage descriptors, the descriptor manager and fragment statistics."""
+
+from repro.catalog.descriptors import AccessMethod, Credentials, StorageDescriptor, StorageLayout
+from repro.catalog.manager import DatasetInfo, StorageDescriptorManager
+from repro.catalog.statistics import FragmentStatistics, StatisticsCatalog
+
+__all__ = [
+    "StorageDescriptor",
+    "StorageLayout",
+    "AccessMethod",
+    "Credentials",
+    "DatasetInfo",
+    "StorageDescriptorManager",
+    "StatisticsCatalog",
+    "FragmentStatistics",
+]

@@ -1,0 +1,121 @@
+"""Storage descriptors: what fragment is stored where, and how to access it.
+
+Following the paper (Section III, Architecture), each fragment ``Di/Fj``
+residing in store ``Sk`` is described by a storage descriptor
+``sd(Sk, Di/Fj)`` with three parts:
+
+* **what** — the fragment's definition as a query over the dataset(s), here a
+  :class:`~repro.core.views.ViewDefinition` in the pivot model;
+* **where** — how the data is laid out inside the store: collection/table
+  name and the mapping from the view's columns to the store's columns or
+  paths;
+* **how** — the access operation the store supports for this fragment (scan,
+  key lookup, text search) and the credentials needed to connect (simulated
+  here, but kept in the descriptor to mirror the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.binding_patterns import AccessPattern
+from repro.core.views import ViewDefinition
+from repro.errors import CatalogError
+
+__all__ = ["AccessMethod", "StorageLayout", "Credentials", "StorageDescriptor"]
+
+
+@dataclass(frozen=True, slots=True)
+class AccessMethod:
+    """How a fragment can be retrieved from its store.
+
+    ``kind`` is one of ``"scan"``, ``"lookup"`` or ``"search"``;
+    ``key_columns`` names the view columns that must be bound for a lookup.
+    """
+
+    kind: str = "scan"
+    key_columns: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in {"scan", "lookup", "search"}:
+            raise CatalogError(f"unknown access method kind {self.kind!r}")
+        if self.kind == "lookup" and not self.key_columns:
+            raise CatalogError("lookup access methods need at least one key column")
+
+
+@dataclass(frozen=True, slots=True)
+class StorageLayout:
+    """Where a fragment lives inside its store.
+
+    ``collection`` is the table/collection/dataset name; ``column_mapping``
+    maps each view column name to the store-side column or dotted path.
+    """
+
+    collection: str
+    column_mapping: Mapping[str, str] = field(default_factory=dict)
+
+    def store_column(self, view_column: str) -> str:
+        """The store-side name of a view column (defaults to the same name)."""
+        return dict(self.column_mapping).get(view_column, view_column)
+
+
+@dataclass(frozen=True, slots=True)
+class Credentials:
+    """Connection credentials for the store holding a fragment (simulated)."""
+
+    username: str = "estocada"
+    secret: str = "in-process"
+    endpoint: str = "local"
+
+
+@dataclass(frozen=True, slots=True)
+class StorageDescriptor:
+    """The full descriptor ``sd(Sk, Di/Fj)`` of one stored fragment."""
+
+    fragment_name: str
+    dataset: str
+    store: str
+    view: ViewDefinition
+    layout: StorageLayout
+    access: AccessMethod = field(default_factory=AccessMethod)
+    credentials: Credentials = field(default_factory=Credentials)
+
+    def __post_init__(self) -> None:
+        if not self.fragment_name:
+            raise CatalogError("fragments need a non-empty name")
+        if self.view.name != self.fragment_name:
+            raise CatalogError(
+                f"descriptor name {self.fragment_name!r} does not match view name {self.view.name!r}"
+            )
+
+    # -- derived information used by the rewriting engine and planner -------------
+    def view_columns(self) -> tuple[str, ...]:
+        """Names of the view's columns (``c0, c1, ...`` when not named)."""
+        if self.view.column_names:
+            return tuple(self.view.column_names)
+        return tuple(f"c{i}" for i in range(self.view.arity))
+
+    def access_pattern(self) -> AccessPattern | None:
+        """The binding pattern induced by the access method (lookup → key inputs)."""
+        if self.view.access_pattern is not None:
+            return self.view.access_pattern
+        if self.access.kind != "lookup":
+            return None
+        columns = self.view_columns()
+        pattern = "".join(
+            "i" if column in self.access.key_columns else "o" for column in columns
+        )
+        return AccessPattern(self.fragment_name, pattern)
+
+    def describe(self) -> Mapping[str, object]:
+        """A JSON-friendly description (used by the demo-style introspection)."""
+        return {
+            "fragment": self.fragment_name,
+            "dataset": self.dataset,
+            "store": self.store,
+            "definition": repr(self.view.definition),
+            "collection": self.layout.collection,
+            "column_mapping": dict(self.layout.column_mapping),
+            "access": {"kind": self.access.kind, "key_columns": list(self.access.key_columns)},
+        }

@@ -1,0 +1,205 @@
+"""The Storage Descriptor Manager: registry of datasets, stores and fragments.
+
+One of the boxes of the paper's Figure 1.  It keeps track of which stores are
+available, which logical datasets exist (with their pivot-model constraints),
+and which fragments (storage descriptors) are currently materialized where.
+The query evaluator consults it to obtain the view definitions and access
+patterns feeding the rewriting engine, and the translation layer to locate
+each fragment's store and layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.binding_patterns import AccessPatternRegistry
+from repro.core.constraints import Constraint, ConstraintSet
+from repro.core.views import ViewDefinition
+from repro.catalog.descriptors import StorageDescriptor
+from repro.errors import (
+    DuplicateRegistrationError,
+    UnknownDatasetError,
+    UnknownFragmentError,
+    UnknownStoreError,
+)
+from repro.stores.base import Store
+
+__all__ = ["DatasetInfo", "StorageDescriptorManager"]
+
+
+@dataclass(slots=True)
+class DatasetInfo:
+    """A logical dataset: its data model, pivot relations and constraints."""
+
+    name: str
+    data_model: str
+    relations: tuple[str, ...] = ()
+    constraints: ConstraintSet = field(default_factory=ConstraintSet)
+    description: str = ""
+
+
+class StorageDescriptorManager:
+    """Registry of stores, datasets and fragment descriptors."""
+
+    def __init__(self) -> None:
+        self._stores: dict[str, Store] = {}
+        self._datasets: dict[str, DatasetInfo] = {}
+        self._fragments: dict[str, StorageDescriptor] = {}
+
+    # -- stores ---------------------------------------------------------------------
+    def register_store(self, name: str, store: Store) -> None:
+        """Register a store under ``name``."""
+        if name in self._stores:
+            raise DuplicateRegistrationError(f"store {name!r} is already registered")
+        self._stores[name] = store
+
+    def unregister_store(self, name: str) -> None:
+        """Remove a store (its fragments must have been dropped first)."""
+        if name not in self._stores:
+            raise UnknownStoreError(f"store {name!r} is not registered")
+        still_used = [f.fragment_name for f in self._fragments.values() if f.store == name]
+        if still_used:
+            raise DuplicateRegistrationError(
+                f"store {name!r} still hosts fragments {still_used}; drop them first"
+            )
+        del self._stores[name]
+
+    def store(self, name: str) -> Store:
+        """Look up a registered store."""
+        store = self._stores.get(name)
+        if store is None:
+            raise UnknownStoreError(f"store {name!r} is not registered")
+        return store
+
+    def stores(self) -> Mapping[str, Store]:
+        """All registered stores by name."""
+        return dict(self._stores)
+
+    # -- datasets ---------------------------------------------------------------------
+    def register_dataset(
+        self,
+        name: str,
+        data_model: str,
+        relations: Sequence[str] = (),
+        constraints: Iterable[Constraint] = (),
+        description: str = "",
+    ) -> DatasetInfo:
+        """Register a logical dataset and its pivot-model constraints."""
+        if name in self._datasets:
+            raise DuplicateRegistrationError(f"dataset {name!r} is already registered")
+        info = DatasetInfo(
+            name=name,
+            data_model=data_model,
+            relations=tuple(relations),
+            constraints=ConstraintSet(constraints),
+            description=description,
+        )
+        self._datasets[name] = info
+        return info
+
+    def dataset(self, name: str) -> DatasetInfo:
+        """Look up a registered dataset."""
+        info = self._datasets.get(name)
+        if info is None:
+            raise UnknownDatasetError(f"dataset {name!r} is not registered")
+        return info
+
+    def datasets(self) -> Mapping[str, DatasetInfo]:
+        """All registered datasets by name."""
+        return dict(self._datasets)
+
+    # -- fragments -----------------------------------------------------------------------
+    def register_fragment(self, descriptor: StorageDescriptor) -> None:
+        """Register a fragment descriptor (its dataset and store must exist)."""
+        if descriptor.fragment_name in self._fragments:
+            raise DuplicateRegistrationError(
+                f"fragment {descriptor.fragment_name!r} is already registered"
+            )
+        if descriptor.dataset not in self._datasets:
+            raise UnknownDatasetError(
+                f"fragment {descriptor.fragment_name!r} references unknown dataset "
+                f"{descriptor.dataset!r}"
+            )
+        if descriptor.store not in self._stores:
+            raise UnknownStoreError(
+                f"fragment {descriptor.fragment_name!r} references unknown store "
+                f"{descriptor.store!r}"
+            )
+        self._fragments[descriptor.fragment_name] = descriptor
+
+    def drop_fragment(self, name: str) -> StorageDescriptor:
+        """Remove a fragment descriptor and return it."""
+        descriptor = self._fragments.pop(name, None)
+        if descriptor is None:
+            raise UnknownFragmentError(f"fragment {name!r} is not registered")
+        return descriptor
+
+    def fragment(self, name: str) -> StorageDescriptor:
+        """Look up a fragment descriptor."""
+        descriptor = self._fragments.get(name)
+        if descriptor is None:
+            raise UnknownFragmentError(f"fragment {name!r} is not registered")
+        return descriptor
+
+    def fragments(self, dataset: str | None = None, store: str | None = None
+                  ) -> list[StorageDescriptor]:
+        """Fragment descriptors, optionally filtered by dataset and/or store."""
+        result = list(self._fragments.values())
+        if dataset is not None:
+            result = [d for d in result if d.dataset == dataset]
+        if store is not None:
+            result = [d for d in result if d.store == store]
+        return result
+
+    # -- derived inputs for the rewriting engine -----------------------------------------
+    def view_definitions(self, datasets: Iterable[str] | None = None) -> list[ViewDefinition]:
+        """The view definitions of the registered fragments.
+
+        When ``datasets`` is given, only fragments over those datasets are
+        returned (the evaluator passes the datasets touched by the query).
+        """
+        wanted = set(datasets) if datasets is not None else None
+        views: list[ViewDefinition] = []
+        for descriptor in self._fragments.values():
+            if wanted is not None and descriptor.dataset not in wanted:
+                continue
+            view = descriptor.view
+            pattern = descriptor.access_pattern()
+            if pattern is not None and view.access_pattern is None:
+                view = ViewDefinition(
+                    name=view.name,
+                    definition=view.definition,
+                    access_pattern=pattern,
+                    store=descriptor.store,
+                    column_names=view.column_names,
+                )
+            views.append(view)
+        return views
+
+    def access_pattern_registry(self) -> AccessPatternRegistry:
+        """Binding patterns of every registered fragment."""
+        registry = AccessPatternRegistry()
+        for descriptor in self._fragments.values():
+            pattern = descriptor.access_pattern()
+            if pattern is not None:
+                registry.register(pattern)
+        return registry
+
+    def schema_constraints(self, datasets: Iterable[str] | None = None) -> ConstraintSet:
+        """The union of the constraints of the chosen datasets (all by default)."""
+        wanted = set(datasets) if datasets is not None else None
+        constraints = ConstraintSet()
+        for info in self._datasets.values():
+            if wanted is not None and info.name not in wanted:
+                continue
+            constraints.extend(info.constraints)
+        return constraints
+
+    def describe(self) -> Mapping[str, object]:
+        """A JSON-friendly snapshot of the whole catalog (demo-style inspection)."""
+        return {
+            "stores": {name: store.capabilities().data_model for name, store in self._stores.items()},
+            "datasets": {name: info.data_model for name, info in self._datasets.items()},
+            "fragments": {name: d.describe() for name, d in self._fragments.items()},
+        }

@@ -1,0 +1,105 @@
+"""Materializing fragments into their target stores.
+
+Given a storage descriptor and the rows of the fragment (computed by
+evaluating the fragment's definition over the source dataset), this module
+writes the data into the descriptor's store using the store's native loading
+API and the descriptor's layout (collection name and column mapping).  It is
+used when a dataset is first fragmented, when the storage advisor's
+recommendations are accepted, and by the benchmarks when they build the
+"before"/"after" configurations of the paper's scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.catalog.descriptors import StorageDescriptor
+from repro.errors import CatalogError
+from repro.stores.base import Store
+from repro.stores.document import DocumentStore
+from repro.stores.fulltext import FullTextStore
+from repro.stores.keyvalue import KeyValueStore
+from repro.stores.parallel import ParallelStore
+from repro.stores.relational import RelationalStore
+
+__all__ = ["materialize_fragment"]
+
+
+def _store_rows(
+    descriptor: StorageDescriptor, rows: Iterable[Mapping[str, object]]
+) -> list[dict[str, object]]:
+    """Rename view columns to store columns according to the layout."""
+    layout = descriptor.layout
+    renamed: list[dict[str, object]] = []
+    for row in rows:
+        renamed.append({layout.store_column(column): value for column, value in row.items()})
+    return renamed
+
+
+def materialize_fragment(
+    store: Store,
+    descriptor: StorageDescriptor,
+    rows: Sequence[Mapping[str, object]],
+    indexes: Sequence[str] = (),
+    partitions: int | None = None,
+) -> int:
+    """Write ``rows`` (keyed by view column names) into the descriptor's store.
+
+    ``indexes`` lists view columns to index after loading; ``partitions``
+    overrides the partition count for parallel stores.  Returns the number of
+    rows written.
+    """
+    collection = descriptor.layout.collection
+    store_rows = _store_rows(descriptor, rows)
+    view_columns = descriptor.view_columns()
+    store_columns = [descriptor.layout.store_column(column) for column in view_columns]
+
+    if isinstance(store, RelationalStore):
+        key_columns = [
+            descriptor.layout.store_column(column) for column in descriptor.access.key_columns
+        ]
+        if collection not in store.collections():
+            store.create_table(collection, store_columns, primary_key=key_columns)
+        written = store.insert(collection, store_rows)
+        for column in indexes:
+            store.create_index(collection, descriptor.layout.store_column(column))
+        return written
+
+    if isinstance(store, DocumentStore):
+        written = store.insert(collection, store_rows)
+        for column in indexes:
+            store.create_index(collection, descriptor.layout.store_column(column))
+        return written
+
+    if isinstance(store, KeyValueStore):
+        key_columns = list(descriptor.access.key_columns) or [view_columns[0]]
+        key_store_column = descriptor.layout.store_column(key_columns[0])
+        store.create_collection(collection)
+        entries: dict[object, object] = {}
+        for row in store_rows:
+            key = row.get(key_store_column)
+            # Keep the key inside the value as well, so rewritings that project
+            # the key column find it in the returned rows.
+            entries[key] = dict(row)
+        return store.put_many(collection, entries)
+
+    if isinstance(store, ParallelStore):
+        partition_column = None
+        if descriptor.access.key_columns:
+            partition_column = descriptor.layout.store_column(descriptor.access.key_columns[0])
+        if collection not in store.collections():
+            store.create_dataset(collection, partition_column=partition_column, partitions=partitions)
+        written = store.insert(collection, store_rows)
+        for column in indexes:
+            store.create_index(collection, descriptor.layout.store_column(column))
+        return written
+
+    if isinstance(store, FullTextStore):
+        indexed_fields = [descriptor.layout.store_column(column) for column in indexes] or store_columns
+        if collection not in store.collections():
+            store.create_collection(collection, indexed_fields=indexed_fields)
+        return store.insert(collection, store_rows)
+
+    raise CatalogError(
+        f"do not know how to materialize into store type {type(store).__name__}"
+    )

@@ -1,0 +1,98 @@
+"""Per-fragment statistics gathering for the cost model.
+
+ESTOCADA "estimates the cardinality of [a delegated query's] result, based on
+statistics it gathers and stores on the data of each fragment and using
+database textbook formulas".  :class:`StatisticsCatalog` collects and caches
+those statistics from the stores via the common store interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.catalog.manager import StorageDescriptorManager
+from repro.errors import CatalogError
+
+__all__ = ["FragmentStatistics", "StatisticsCatalog"]
+
+
+@dataclass(frozen=True, slots=True)
+class FragmentStatistics:
+    """Cardinality and per-column distinct counts of one fragment."""
+
+    fragment: str
+    cardinality: int
+    distinct_values: Mapping[str, int]
+    indexed_columns: frozenset[str]
+
+    def distinct(self, column: str) -> int:
+        """Distinct count of a column (defaults to the cardinality)."""
+        value = dict(self.distinct_values).get(column)
+        if value is None or value <= 0:
+            return max(self.cardinality, 1)
+        return value
+
+    def selectivity_of_equality(self, column: str) -> float:
+        """Textbook selectivity of an equality predicate on ``column``."""
+        return 1.0 / max(self.distinct(column), 1)
+
+
+class StatisticsCatalog:
+    """Collects fragment statistics lazily and caches them."""
+
+    def __init__(self, manager: StorageDescriptorManager) -> None:
+        self._manager = manager
+        self._cache: dict[str, FragmentStatistics] = {}
+
+    def invalidate(self, fragment: str | None = None) -> None:
+        """Drop cached statistics (for one fragment or all of them)."""
+        if fragment is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(fragment, None)
+
+    def refresh(self, fragment: str) -> FragmentStatistics:
+        """Recompute and cache the statistics of one fragment."""
+        descriptor = self._manager.fragment(fragment)
+        store = self._manager.store(descriptor.store)
+        collection = descriptor.layout.collection
+        if collection not in store.collections():
+            raise CatalogError(
+                f"fragment {fragment!r} maps to collection {collection!r} which is not "
+                f"loaded in store {descriptor.store!r}"
+            )
+        cardinality = store.collection_size(collection)
+        distinct: dict[str, int] = {}
+        indexed: set[str] = set()
+        for view_column in descriptor.view_columns():
+            store_column = descriptor.layout.store_column(view_column)
+            try:
+                column_stats = store.column_statistics(collection, store_column)
+            except Exception:  # pragma: no cover - defensive: stats must not break queries
+                continue
+            distinct[view_column] = int(column_stats.get("distinct", cardinality) or 0)
+            if column_stats.get("indexed"):
+                indexed.add(view_column)
+        # Key columns of lookup fragments are indexed by definition (the store
+        # retrieves entries by that key), even when the store cannot report it
+        # under the view's column name (e.g. a key-value store's "key").
+        for key_column in descriptor.access.key_columns:
+            indexed.add(key_column)
+            if distinct.get(key_column, 0) <= 1:
+                distinct[key_column] = cardinality
+        statistics = FragmentStatistics(
+            fragment=fragment,
+            cardinality=cardinality,
+            distinct_values=distinct,
+            indexed_columns=frozenset(indexed),
+        )
+        self._cache[fragment] = statistics
+        return statistics
+
+    def get(self, fragment: str) -> FragmentStatistics:
+        """Statistics of ``fragment`` (computed on first access)."""
+        cached = self._cache.get(fragment)
+        if cached is not None:
+            return cached
+        return self.refresh(fragment)

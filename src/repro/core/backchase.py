@@ -1,0 +1,129 @@
+"""Classical Chase & Backchase (C&B) — the baseline rewriting algorithm.
+
+The classical backchase enumerates sub-queries of the universal plan in
+increasing size and keeps those that (a) only use view (fragment) relations,
+(b) still expose the query's head variables and (c) are equivalent to the
+original query under the constraints.  Equivalence is checked with a fresh
+chase per candidate, which is what makes the classical algorithm exponential
+in the number of candidate view atoms — the very cost that the
+provenance-aware variant (:mod:`repro.core.pacb`) avoids and that experiment
+E4 measures.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.chase import ChaseConfig
+from repro.core.constraints import Constraint, ConstraintSet
+from repro.core.containment import is_equivalent_under_constraints
+from repro.core.query import ConjunctiveQuery
+from repro.core.terms import Atom, Constant, Variable
+from repro.core.universal_plan import UniversalPlan, chase_query, thaw_atoms, thaw_term
+from repro.core.views import ViewDefinition, views_constraint_set
+from repro.errors import RewritingError
+
+__all__ = ["BackchaseStatistics", "classical_backchase", "candidate_to_query"]
+
+
+@dataclass(slots=True)
+class BackchaseStatistics:
+    """Counters describing the work performed by a backchase run."""
+
+    candidates_considered: int = 0
+    equivalence_checks: int = 0
+    rewritings_found: int = 0
+    view_atoms_in_plan: int = 0
+    notes: list[str] = field(default_factory=list)
+
+
+def candidate_to_query(
+    query: ConjunctiveQuery,
+    candidate_facts: Sequence[Atom],
+    plan: UniversalPlan,
+) -> ConjunctiveQuery | None:
+    """Turn a set of frozen view facts into a candidate rewriting query.
+
+    Returns None when the candidate cannot expose all head variables of the
+    original query (such a candidate can never be an equivalent rewriting).
+    """
+    thawing = dict(plan.thawing)
+    body = thaw_atoms(candidate_facts, thawing)
+    head_terms = [thaw_term(t, thawing) for t in plan.frozen_head]
+    body_variables: set[Variable] = set()
+    for atom in body:
+        body_variables.update(atom.variable_set())
+    for term in head_terms:
+        if isinstance(term, Variable) and term not in body_variables:
+            return None
+    return ConjunctiveQuery(
+        query.head_relation, head_terms, body, name=f"{query.name}_rewriting"
+    )
+
+
+def classical_backchase(
+    query: ConjunctiveQuery,
+    views: Sequence[ViewDefinition],
+    schema_constraints: ConstraintSet | Iterable[Constraint] | None = None,
+    config: ChaseConfig | None = None,
+    max_rewritings: int | None = None,
+    max_candidate_size: int | None = None,
+) -> tuple[list[ConjunctiveQuery], BackchaseStatistics]:
+    """Find view-based rewritings of ``query`` by exhaustive backchase.
+
+    Parameters
+    ----------
+    query:
+        The application query over the source (pivot) schema.
+    views:
+        The fragment definitions available for rewriting.
+    schema_constraints:
+        Data-model constraints (key/FD/structural TGDs and EGDs).
+    max_rewritings:
+        Stop after this many rewritings have been found.
+    max_candidate_size:
+        Only consider candidate bodies of at most this many view atoms
+        (defaults to the number of view atoms in the universal plan).
+
+    Returns the list of minimal rewritings (as CQs over view relations) and
+    the search statistics.
+    """
+    if not views:
+        raise RewritingError("classical backchase needs at least one view")
+    statistics = BackchaseStatistics()
+
+    schema = ConstraintSet(schema_constraints or ())
+    forward = views_constraint_set(views, direction="forward").union(schema)
+    all_constraints = views_constraint_set(views, direction="both").union(schema)
+
+    plan = chase_query(query, forward, config=config)
+    view_names = {view.name for view in views}
+    view_facts = plan.view_facts(view_names)
+    statistics.view_atoms_in_plan = len(view_facts)
+    if not view_facts:
+        return [], statistics
+
+    limit = max_candidate_size or len(view_facts)
+    rewritings: list[ConjunctiveQuery] = []
+    found_sets: list[frozenset[Atom]] = []
+
+    for size in range(1, limit + 1):
+        for combination in itertools.combinations(view_facts, size):
+            combination_set = frozenset(combination)
+            # Skip supersets of already-found rewritings: they cannot be minimal.
+            if any(found <= combination_set for found in found_sets):
+                continue
+            statistics.candidates_considered += 1
+            candidate = candidate_to_query(query, combination, plan)
+            if candidate is None:
+                continue
+            statistics.equivalence_checks += 1
+            if is_equivalent_under_constraints(candidate, query, all_constraints, config=config):
+                rewritings.append(candidate)
+                found_sets.append(combination_set)
+                statistics.rewritings_found += 1
+                if max_rewritings is not None and len(rewritings) >= max_rewritings:
+                    return rewritings, statistics
+    return rewritings, statistics

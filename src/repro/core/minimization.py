@@ -1,0 +1,74 @@
+"""Conjunctive-query minimization (core computation).
+
+A CQ is *minimal* when no proper subset of its body atoms yields an
+equivalent query.  Minimization removes redundant atoms, which matters twice
+in ESTOCADA: minimal rewritings touch fewer fragments (and are thus cheaper),
+and the classical backchase enumerates sub-queries in increasing size, so
+working with minimized inputs shrinks its search space.
+
+The implementation follows the textbook greedy algorithm: repeatedly try to
+drop one atom and keep the query equivalent; because CQ equivalence is
+confluent with respect to atom removal, the greedy result is the core
+(unique up to isomorphism).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.chase import ChaseConfig
+from repro.core.constraints import Constraint, ConstraintSet
+from repro.core.containment import is_equivalent, is_equivalent_under_constraints
+from repro.core.query import ConjunctiveQuery
+
+__all__ = ["minimize", "minimize_under_constraints", "is_minimal"]
+
+
+def _try_remove_atoms(
+    query: ConjunctiveQuery,
+    equivalent: "callable",
+) -> ConjunctiveQuery:
+    """Greedy single-atom removal loop shared by both minimization entry points."""
+    current = query
+    improved = True
+    while improved and len(current.body) > 1:
+        improved = False
+        head_variables = set(current.head_variables())
+        for index in range(len(current.body)):
+            candidate_body = current.body[:index] + current.body[index + 1:]
+            remaining_variables = set()
+            for atom in candidate_body:
+                remaining_variables.update(atom.variable_set())
+            if not head_variables <= remaining_variables:
+                continue
+            candidate = current.with_body(candidate_body)
+            if equivalent(candidate, current):
+                current = candidate
+                improved = True
+                break
+    return current
+
+
+def minimize(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Return the core of ``query`` (equivalent query with minimal body)."""
+    return _try_remove_atoms(query, is_equivalent)
+
+
+def minimize_under_constraints(
+    query: ConjunctiveQuery,
+    constraints: ConstraintSet | Iterable[Constraint],
+    config: ChaseConfig | None = None,
+) -> ConjunctiveQuery:
+    """Minimize ``query`` modulo the given constraints."""
+    if not isinstance(constraints, ConstraintSet):
+        constraints = ConstraintSet(constraints)
+
+    def equivalent(candidate: ConjunctiveQuery, original: ConjunctiveQuery) -> bool:
+        return is_equivalent_under_constraints(candidate, original, constraints, config=config)
+
+    return _try_remove_atoms(query, equivalent)
+
+
+def is_minimal(query: ConjunctiveQuery) -> bool:
+    """True when no single body atom can be dropped without changing the query."""
+    return len(minimize(query).body) == len(query.body)

@@ -1,0 +1,128 @@
+"""Provenance formulas for the provenance-aware chase (PACB).
+
+The provenance-aware Chase & Backchase [Ileana et al., SIGMOD 2014] annotates
+every fact derived during the chase with a *provenance formula* recording
+which view atoms the fact depends on.  After the chase, matching the original
+query against the chased instance and reading off the provenance of the
+matched facts directly yields the (minimal) rewritings — avoiding the
+exponential sub-query enumeration of the classical backchase.
+
+We represent provenance formulas in disjunctive normal form (DNF): a set of
+*monomials*, each monomial being a set of provenance variable identifiers
+(one identifier per view atom of the universal plan).  The two operations are:
+
+* ``disjunction`` (the same fact derived in several ways),
+* ``conjunction`` (a fact derived from several premises).
+
+Both apply *absorption* — a monomial that is a superset of another is dropped
+— so formulas stay minimal, which is exactly what makes the read-off
+rewritings minimal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["ProvenanceFormula", "TRUE", "EMPTY"]
+
+Monomial = frozenset[int]
+
+
+class ProvenanceFormula:
+    """An immutable positive Boolean formula in minimal DNF.
+
+    The formula over provenance variables (integers) is stored as a frozenset
+    of monomials (frozensets of ints).  The empty formula (no monomials)
+    denotes *false* (unreachable); the formula containing the empty monomial
+    denotes *true* (derivable with no view atoms).
+    """
+
+    __slots__ = ("monomials",)
+
+    def __init__(self, monomials: Iterable[Iterable[int]] = ()) -> None:
+        absorbed = _absorb(frozenset(frozenset(m) for m in monomials))
+        object.__setattr__(self, "monomials", absorbed)
+
+    def __setattr__(self, key: str, value: object) -> None:  # pragma: no cover
+        raise AttributeError("ProvenanceFormula is immutable")
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def variable(cls, identifier: int) -> "ProvenanceFormula":
+        """The formula consisting of a single provenance variable."""
+        return cls([frozenset({identifier})])
+
+    @classmethod
+    def true(cls) -> "ProvenanceFormula":
+        """The always-true formula (empty monomial)."""
+        return cls([frozenset()])
+
+    @classmethod
+    def false(cls) -> "ProvenanceFormula":
+        """The always-false formula (no monomials)."""
+        return cls([])
+
+    # -- predicates ------------------------------------------------------------
+    def is_false(self) -> bool:
+        """True when the formula has no monomials."""
+        return not self.monomials
+
+    def is_true(self) -> bool:
+        """True when the formula contains the empty monomial."""
+        return frozenset() in self.monomials
+
+    # -- operations --------------------------------------------------------------
+    def disjunction(self, other: "ProvenanceFormula") -> "ProvenanceFormula":
+        """OR of two formulas (fact derivable either way)."""
+        return ProvenanceFormula(self.monomials | other.monomials)
+
+    def conjunction(self, other: "ProvenanceFormula") -> "ProvenanceFormula":
+        """AND of two formulas (fact requires both derivations)."""
+        if self.is_false() or other.is_false():
+            return ProvenanceFormula.false()
+        product = {
+            left | right for left in self.monomials for right in other.monomials
+        }
+        return ProvenanceFormula(product)
+
+    def variables(self) -> frozenset[int]:
+        """All provenance variables mentioned in the formula."""
+        result: set[int] = set()
+        for monomial in self.monomials:
+            result.update(monomial)
+        return frozenset(result)
+
+    def minimal_monomials(self) -> frozenset[Monomial]:
+        """The monomials (already absorption-minimal)."""
+        return self.monomials
+
+    # -- protocol ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ProvenanceFormula) and self.monomials == other.monomials
+
+    def __hash__(self) -> int:
+        return hash(self.monomials)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        if self.is_false():
+            return "FALSE"
+        if self.is_true():
+            return "TRUE"
+        parts = [
+            "(" + " & ".join(f"p{v}" for v in sorted(m)) + ")" for m in sorted(
+                self.monomials, key=lambda m: (len(m), sorted(m)))
+        ]
+        return " | ".join(parts)
+
+
+def _absorb(monomials: frozenset[Monomial]) -> frozenset[Monomial]:
+    """Drop monomials that are supersets of other monomials (absorption law)."""
+    kept: list[Monomial] = []
+    for monomial in sorted(monomials, key=len):
+        if not any(existing <= monomial for existing in kept):
+            kept.append(monomial)
+    return frozenset(kept)
+
+
+TRUE = ProvenanceFormula.true()
+EMPTY = ProvenanceFormula.false()

@@ -1,0 +1,16 @@
+"""Cardinality estimation, store cost profiles and cost-based plan choice."""
+
+from repro.cost.cardinality import AtomEstimate, CardinalityEstimator
+from repro.cost.chooser import PlanChooser, RankedPlan
+from repro.cost.cost_model import DEFAULT_PROFILES, CostModel, PlanCostEstimate, StoreCostProfile
+
+__all__ = [
+    "CardinalityEstimator",
+    "AtomEstimate",
+    "CostModel",
+    "StoreCostProfile",
+    "DEFAULT_PROFILES",
+    "PlanCostEstimate",
+    "PlanChooser",
+    "RankedPlan",
+]

@@ -1,0 +1,74 @@
+"""Cost-based choice among alternative rewritings / plans.
+
+For a given query and set of fragments there may be several rewritings, each
+leading to a plan.  ESTOCADA explores them *partially* — it delegates the
+largest possible sub-query to each store and does not micro-optimise inside
+the store — and picks the rewriting whose estimated cost is lowest.  The
+chooser pairs each feasible rewriting with its physical plan and cost
+estimate, ranks them, and returns the ranking (the best plan first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.query import ConjunctiveQuery
+from repro.core.terms import Variable
+from repro.cost.cost_model import CostModel, PlanCostEstimate
+from repro.errors import NoRewritingFoundError, PlanningError
+from repro.translation.planner import PhysicalPlan, Planner
+
+__all__ = ["RankedPlan", "PlanChooser"]
+
+
+@dataclass(slots=True)
+class RankedPlan:
+    """One candidate plan with its cost estimate."""
+
+    rewriting: ConjunctiveQuery
+    plan: PhysicalPlan
+    estimate: PlanCostEstimate
+
+
+class PlanChooser:
+    """Plans every candidate rewriting, estimates costs and ranks the plans."""
+
+    def __init__(self, planner: Planner, cost_model: CostModel) -> None:
+        self._planner = planner
+        self._cost_model = cost_model
+
+    def rank(
+        self,
+        rewritings: Sequence[ConjunctiveQuery],
+        bound_parameters: Sequence[Variable] = (),
+    ) -> list[RankedPlan]:
+        """Plan and rank the given rewritings (cheapest first).
+
+        Rewritings that cannot be planned (e.g. no feasible atom order, or a
+        delegation conflict) are skipped; if none can be planned a
+        :class:`NoRewritingFoundError` is raised.
+        """
+        ranked: list[RankedPlan] = []
+        failures: list[str] = []
+        for rewriting in rewritings:
+            try:
+                plan = self._planner.plan(rewriting, bound_parameters=bound_parameters)
+            except PlanningError as error:
+                failures.append(f"{rewriting.name}: {error}")
+                continue
+            estimate = self._cost_model.estimate_groups(rewriting.name, plan.groups)
+            ranked.append(RankedPlan(rewriting=rewriting, plan=plan, estimate=estimate))
+        if not ranked:
+            detail = "; ".join(failures) if failures else "no candidate rewritings"
+            raise NoRewritingFoundError(f"no executable plan could be built: {detail}")
+        ranked.sort(key=lambda candidate: candidate.estimate.total_cost)
+        return ranked
+
+    def choose(
+        self,
+        rewritings: Sequence[ConjunctiveQuery],
+        bound_parameters: Sequence[Variable] = (),
+    ) -> RankedPlan:
+        """The cheapest plannable rewriting."""
+        return self.rank(rewritings, bound_parameters=bound_parameters)[0]

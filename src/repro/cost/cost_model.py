@@ -1,0 +1,192 @@
+"""Per-store access cost formulas and whole-plan cost estimation.
+
+Each store kind has a small cost profile (cost to scan one row, to perform
+one key/index lookup, per-request overhead, and a parallelism factor for the
+partitioned store).  The plan cost estimator walks the same delegation groups
+the planner produces and charges:
+
+* full-scan or index-assisted cost for the first group,
+* per-probe lookup cost times the estimated number of left rows for BindJoin
+  groups,
+* scan + build cost for hash-joined groups,
+* a mediator (runtime) cost proportional to the rows the runtime touches.
+
+Absolute numbers are arbitrary units; only *relative* comparisons matter for
+choosing among rewritings — the same role the cost model plays in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.catalog.statistics import StatisticsCatalog
+from repro.core.terms import Constant, Variable
+from repro.cost.cardinality import CardinalityEstimator
+from repro.errors import CostModelError
+from repro.translation.grouping import AtomAccess, DelegationGroup
+
+__all__ = ["StoreCostProfile", "DEFAULT_PROFILES", "PlanCostEstimate", "CostModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class StoreCostProfile:
+    """Cost constants of one store kind (arbitrary units per row / per call)."""
+
+    scan_row_cost: float
+    lookup_cost: float
+    request_overhead: float
+    parallelism: float = 1.0
+
+
+DEFAULT_PROFILES: Mapping[str, StoreCostProfile] = {
+    "relational": StoreCostProfile(scan_row_cost=1.0, lookup_cost=2.0, request_overhead=5.0),
+    "document": StoreCostProfile(scan_row_cost=1.3, lookup_cost=2.5, request_overhead=5.0),
+    "keyvalue": StoreCostProfile(scan_row_cost=5.0, lookup_cost=0.6, request_overhead=1.0),
+    "fulltext": StoreCostProfile(scan_row_cost=1.5, lookup_cost=1.5, request_overhead=5.0),
+    "nested": StoreCostProfile(scan_row_cost=1.0, lookup_cost=1.2, request_overhead=8.0, parallelism=4.0),
+}
+
+_RUNTIME_ROW_COST = 0.8
+
+
+@dataclass(slots=True)
+class PlanCostEstimate:
+    """Estimated cost and cardinality of one planned rewriting."""
+
+    rewriting_name: str
+    total_cost: float
+    estimated_rows: float
+    per_group_costs: list[float]
+
+    def __lt__(self, other: "PlanCostEstimate") -> bool:
+        return self.total_cost < other.total_cost
+
+
+class CostModel:
+    """Estimates the execution cost of planned rewritings."""
+
+    def __init__(
+        self,
+        statistics: StatisticsCatalog,
+        profiles: Mapping[str, StoreCostProfile] | None = None,
+    ) -> None:
+        self._statistics = statistics
+        self._estimator = CardinalityEstimator(statistics)
+        self._profiles = dict(DEFAULT_PROFILES)
+        if profiles:
+            self._profiles.update(profiles)
+
+    # -- profiles -------------------------------------------------------------------
+    def profile_for(self, data_model: str) -> StoreCostProfile:
+        """The cost profile of a store data model (defaults to relational)."""
+        profile = self._profiles.get(data_model)
+        if profile is None:
+            profile = self._profiles.get("relational")
+        if profile is None:
+            raise CostModelError(f"no cost profile for data model {data_model!r}")
+        return profile
+
+    @property
+    def estimator(self) -> CardinalityEstimator:
+        """The cardinality estimator used by this cost model."""
+        return self._estimator
+
+    # -- group costs -------------------------------------------------------------------
+    def _access_cost(self, access: AtomAccess, left_rows: float, bound: set[Variable]) -> tuple[float, float]:
+        """Cost and output cardinality of accessing one atom given ``left_rows``.
+
+        ``bound`` holds the variables already produced by earlier groups; an
+        access whose input columns are bound behaves like a per-row probe.
+        """
+        stats = self._statistics.get(access.descriptor.fragment_name)
+        profile = self.profile_for(access.store.capabilities().data_model)
+        estimate = self._estimator.atom_estimate(access)
+
+        probe_columns = [
+            column
+            for column, term in zip(access.columns, access.atom.terms)
+            if isinstance(term, Variable) and term in bound
+        ]
+        constant_columns = [
+            column
+            for column, term in zip(access.columns, access.atom.terms)
+            if isinstance(term, Constant)
+        ]
+        has_index = any(
+            column in stats.indexed_columns for column in probe_columns + constant_columns
+        )
+        requires_key = access.store.capabilities().requires_key_lookup or (
+            access.descriptor.access.kind == "lookup"
+        )
+        key_columns = set(access.descriptor.access.key_columns) | set(access.input_columns())
+        constant_on_key = bool(key_columns & set(constant_columns))
+
+        if probe_columns and (requires_key or has_index):
+            # BindJoin / index nested loop: one lookup per left row.
+            per_probe_rows = stats.cardinality
+            for column in probe_columns + constant_columns:
+                per_probe_rows *= stats.selectivity_of_equality(column)
+            cost = left_rows * (profile.lookup_cost + profile.request_overhead * 0.1)
+            output = left_rows * max(per_probe_rows, 0.0)
+            return cost, output
+
+        if constant_on_key and requires_key:
+            # A constant pins the lookup key: a single point access.
+            per_lookup_rows = stats.cardinality
+            for column in constant_columns:
+                per_lookup_rows *= stats.selectivity_of_equality(column)
+            cost = profile.lookup_cost + profile.request_overhead
+            output = max(per_lookup_rows, 0.0)
+            if left_rows:
+                cost += _RUNTIME_ROW_COST * (left_rows + output)
+                output = left_rows * output
+            return cost, output
+
+        # Delegated scan (possibly index-assisted on a constant).
+        scanned = stats.cardinality
+        if has_index and constant_columns:
+            scanned = max(estimate.estimated_rows, 1.0)
+        scan_cost = profile.request_overhead + (scanned * profile.scan_row_cost) / max(
+            profile.parallelism, 1.0
+        )
+        if left_rows:
+            # The mediator joins this scan with the left side.
+            scan_cost += _RUNTIME_ROW_COST * (left_rows + estimate.estimated_rows)
+            join_selectivity = 1.0
+            for column in probe_columns:
+                join_selectivity *= stats.selectivity_of_equality(column)
+            output = left_rows * estimate.estimated_rows * join_selectivity
+        else:
+            output = estimate.estimated_rows
+        return scan_cost, output
+
+    # -- plan costs ------------------------------------------------------------------------
+    def estimate_groups(
+        self, rewriting_name: str, groups: Sequence[DelegationGroup]
+    ) -> PlanCostEstimate:
+        """Estimate the cost of executing the delegation groups in order."""
+        total_cost = 0.0
+        per_group: list[float] = []
+        rows = 0.0
+        bound: set[Variable] = set()
+        first = True
+        for group in groups:
+            group_cost = 0.0
+            group_rows = 0.0 if first else rows
+            for access in group.accesses:
+                cost, output = self._access_cost(access, 0.0 if first else rows, bound)
+                group_cost += cost
+                group_rows = output if first else output
+                first = False
+                rows = group_rows
+                bound.update(access.atom.variable_set())
+            per_group.append(group_cost)
+            total_cost += group_cost
+        total_cost += _RUNTIME_ROW_COST * rows
+        return PlanCostEstimate(
+            rewriting_name=rewriting_name,
+            total_cost=total_cost,
+            estimated_rows=rows,
+            per_group_costs=per_group,
+        )

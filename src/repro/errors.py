@@ -1,0 +1,137 @@
+"""Exception hierarchy for the ESTOCADA reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class.  Sub-hierarchies mirror the subsystems: the
+pivot model / rewriting engine, the catalog, the simulated stores, query
+languages, the translation layer, the runtime and the advisor.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+# ---------------------------------------------------------------------------
+# Pivot model / rewriting
+# ---------------------------------------------------------------------------
+
+class PivotModelError(ReproError):
+    """Malformed pivot-model object (atom, query, constraint, ...)."""
+
+
+class ArityError(PivotModelError):
+    """An atom was built with the wrong number of arguments for its relation."""
+
+
+class ChaseError(ReproError):
+    """The chase could not complete (non-termination guard hit, bad input)."""
+
+
+class ChaseNonTerminationError(ChaseError):
+    """The chase exceeded its step budget and was aborted."""
+
+
+class RewritingError(ReproError):
+    """View-based rewriting failed."""
+
+
+class NoRewritingFoundError(RewritingError):
+    """No equivalent rewriting exists over the registered fragments."""
+
+
+class InfeasibleRewritingError(RewritingError):
+    """All candidate rewritings violate an access-pattern (binding) restriction."""
+
+
+# ---------------------------------------------------------------------------
+# Catalog
+# ---------------------------------------------------------------------------
+
+class CatalogError(ReproError):
+    """Problems registering or resolving datasets, stores or fragments."""
+
+
+class UnknownDatasetError(CatalogError):
+    """The referenced dataset has not been registered."""
+
+
+class UnknownStoreError(CatalogError):
+    """The referenced store has not been registered."""
+
+
+class UnknownFragmentError(CatalogError):
+    """The referenced fragment descriptor does not exist."""
+
+
+class DuplicateRegistrationError(CatalogError):
+    """A dataset, store or fragment with the same name is already registered."""
+
+
+# ---------------------------------------------------------------------------
+# Stores
+# ---------------------------------------------------------------------------
+
+class StoreError(ReproError):
+    """Base class for errors raised by the simulated stores."""
+
+
+class UnsupportedOperationError(StoreError):
+    """The store does not support the requested operation (e.g. joins)."""
+
+
+class AccessPatternViolation(StoreError):
+    """A store access did not supply a value for a required (bound) field."""
+
+
+class SchemaError(StoreError):
+    """Tuple or document does not match the declared schema."""
+
+
+class KeyNotFoundError(StoreError):
+    """Key-value lookup for a missing key (when missing_ok is False)."""
+
+
+# ---------------------------------------------------------------------------
+# Query languages
+# ---------------------------------------------------------------------------
+
+class LanguageError(ReproError):
+    """Base class for query-language front-end errors."""
+
+
+class ParseError(LanguageError):
+    """The query text could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class TranslationError(LanguageError):
+    """The parsed query cannot be translated to the pivot model."""
+
+
+# ---------------------------------------------------------------------------
+# Translation / planning / runtime
+# ---------------------------------------------------------------------------
+
+class PlanningError(ReproError):
+    """The rewriting could not be turned into an executable plan."""
+
+
+class ExecutionError(ReproError):
+    """The runtime engine failed while evaluating a plan."""
+
+
+# ---------------------------------------------------------------------------
+# Cost model / advisor
+# ---------------------------------------------------------------------------
+
+class CostModelError(ReproError):
+    """Cost or cardinality estimation failed."""
+
+
+class AdvisorError(ReproError):
+    """The storage advisor could not produce a recommendation."""

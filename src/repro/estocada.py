@@ -1,0 +1,391 @@
+"""The ESTOCADA facade: transparent, optimized access to hybrid stores.
+
+:class:`Estocada` wires together every component of the paper's Figure 1:
+
+* the **Storage Descriptor Manager** (datasets, stores, fragment descriptors),
+* the **Query Evaluator**: native-language queries are translated to the
+  pivot model, rewritten over the registered fragments with PACB (or the
+  classical C&B for baseline measurements), the rewritings are filtered for
+  access-pattern feasibility, ranked by the cost model, and the cheapest plan
+  is handed to the runtime;
+* the **Runtime Execution Engine** evaluating the non-delegated operations;
+* the **Storage Advisor** (exposed via :meth:`recommend_fragments`).
+
+Most applications only ever touch this class.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.catalog.descriptors import StorageDescriptor
+from repro.catalog.manager import DatasetInfo, StorageDescriptorManager
+from repro.catalog.materialize import materialize_fragment
+from repro.catalog.statistics import StatisticsCatalog
+from repro.core.chase import ChaseConfig
+from repro.core.constraints import Constraint
+from repro.core.query import ConjunctiveQuery
+from repro.core.rewriting import Rewriter, RewritingOutcome
+from repro.core.terms import Variable
+from repro.cost.chooser import PlanChooser, RankedPlan
+from repro.cost.cost_model import CostModel, StoreCostProfile
+from repro.datamodel.relational import RelationalSchema, TableSchema
+from repro.errors import NoRewritingFoundError, TranslationError
+from repro.languages.docql import DocumentQuery
+from repro.languages.sql.translator import SqlTranslator, TranslatedQuery
+from repro.runtime.engine import ExecutionEngine, QueryResult
+from repro.runtime.operators import Aggregate, Deduplicate, Filter, Operator
+from repro.stores.base import COMPARATORS, Store
+from repro.translation.planner import Planner
+
+__all__ = ["Explanation", "Estocada"]
+
+
+@dataclass(slots=True)
+class Explanation:
+    """Everything the demo shows for one query: pivot form, rewritings, plans."""
+
+    pivot_query: ConjunctiveQuery
+    rewritings: list[ConjunctiveQuery]
+    feasible_rewritings: list[ConjunctiveQuery]
+    ranked_plans: list[RankedPlan]
+    chosen: RankedPlan | None
+    rewriting_seconds: float
+    algorithm: str
+    notes: list[str] = field(default_factory=list)
+
+    def plan_text(self) -> str:
+        """The chosen physical plan, pretty-printed."""
+        if self.chosen is None:
+            return "(no executable plan)"
+        return self.chosen.plan.explain()
+
+
+class Estocada:
+    """The hybrid-store mediator: register stores, datasets and fragments, then query."""
+
+    def __init__(
+        self,
+        algorithm: str = "pacb",
+        chase_config: ChaseConfig | None = None,
+        cost_profiles: Mapping[str, StoreCostProfile] | None = None,
+    ) -> None:
+        self._manager = StorageDescriptorManager()
+        self._statistics = StatisticsCatalog(self._manager)
+        self._cost_model = CostModel(self._statistics, profiles=cost_profiles)
+        self._engine = ExecutionEngine()
+        self._algorithm = algorithm
+        self._chase_config = chase_config or ChaseConfig()
+        self._relational_schemas: dict[str, RelationalSchema] = {}
+        self._document_collections: dict[str, tuple[str, ...]] = {}
+
+    # -- registration ------------------------------------------------------------------
+    @property
+    def catalog(self) -> StorageDescriptorManager:
+        """The storage descriptor manager (Figure 1's catalog component)."""
+        return self._manager
+
+    @property
+    def statistics(self) -> StatisticsCatalog:
+        """Per-fragment statistics used by the cost model."""
+        return self._statistics
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The cost model used to rank rewritings."""
+        return self._cost_model
+
+    def register_store(self, name: str, store: Store) -> None:
+        """Register an underlying DMS under ``name``."""
+        self._manager.register_store(name, store)
+
+    def register_relational_dataset(
+        self,
+        name: str,
+        tables: Sequence[TableSchema],
+        constraints: Iterable[Constraint] = (),
+        description: str = "",
+    ) -> DatasetInfo:
+        """Register a relational dataset (tables become pivot relations)."""
+        schema = RelationalSchema()
+        for table in tables:
+            schema.add(table)
+        self._relational_schemas[name] = schema
+        from repro.datamodel.relational import RelationalEncoding
+
+        encoding = RelationalEncoding(schema)
+        all_constraints = encoding.extended_constraints(constraints)
+        return self._manager.register_dataset(
+            name,
+            data_model="relational",
+            relations=tuple(table.name for table in tables),
+            constraints=all_constraints,
+            description=description,
+        )
+
+    def register_document_dataset(
+        self,
+        name: str,
+        collections: Mapping[str, Sequence[str]],
+        constraints: Iterable[Constraint] = (),
+        description: str = "",
+    ) -> DatasetInfo:
+        """Register a document dataset.
+
+        ``collections`` maps each logical collection name to the dotted paths
+        it exposes; each collection becomes a logical pivot relation with one
+        column per path (the full Node/Child/Descendant encoding is available
+        in :mod:`repro.datamodel.document` for constraint-level reasoning).
+        """
+        for collection, paths in collections.items():
+            self._document_collections[collection] = tuple(paths)
+        return self._manager.register_dataset(
+            name,
+            data_model="document",
+            relations=tuple(collections),
+            constraints=constraints,
+            description=description,
+        )
+
+    def register_dataset(
+        self,
+        name: str,
+        data_model: str,
+        relations: Sequence[str] = (),
+        constraints: Iterable[Constraint] = (),
+        description: str = "",
+    ) -> DatasetInfo:
+        """Register a dataset of any other data model (key-value, nested, ...)."""
+        return self._manager.register_dataset(
+            name, data_model, relations=relations, constraints=constraints, description=description
+        )
+
+    def register_fragment(
+        self,
+        descriptor: StorageDescriptor,
+        rows: Sequence[Mapping[str, object]] | None = None,
+        indexes: Sequence[str] = (),
+        partitions: int | None = None,
+    ) -> None:
+        """Register a fragment descriptor; optionally materialize its rows."""
+        self._manager.register_fragment(descriptor)
+        if rows is not None:
+            store = self._manager.store(descriptor.store)
+            materialize_fragment(store, descriptor, rows, indexes=indexes, partitions=partitions)
+        self._statistics.invalidate(descriptor.fragment_name)
+
+    def drop_fragment(self, name: str) -> StorageDescriptor:
+        """Unregister a fragment descriptor (data stays in the store)."""
+        self._statistics.invalidate(name)
+        return self._manager.drop_fragment(name)
+
+    # -- query translation ----------------------------------------------------------------
+    def translate_sql(self, dataset: str, sql: str) -> TranslatedQuery:
+        """Translate a SQL query over a registered relational dataset."""
+        schema = self._relational_schemas.get(dataset)
+        if schema is None:
+            raise TranslationError(f"dataset {dataset!r} is not a registered relational dataset")
+        return SqlTranslator(schema).translate(sql)
+
+    def document_query(self, collection: str) -> DocumentQuery:
+        """Start a document query over a registered logical collection."""
+        paths = self._document_collections.get(collection)
+        if paths is None:
+            raise TranslationError(f"collection {collection!r} is not registered")
+        return DocumentQuery(collection=collection, paths=paths)
+
+    # -- the query evaluator -----------------------------------------------------------------
+    def _rewriter(self) -> Rewriter:
+        return Rewriter(
+            views=self._manager.view_definitions(),
+            schema_constraints=self._manager.schema_constraints(),
+            access_patterns=self._manager.access_pattern_registry(),
+            algorithm=self._algorithm,
+            chase_config=self._chase_config,
+        )
+
+    def explain(
+        self,
+        query: ConjunctiveQuery | str,
+        dataset: str | None = None,
+        bound_parameters: Sequence[Variable] = (),
+    ) -> Explanation:
+        """Rewrite and plan a query without executing it (demo steps 1–2)."""
+        pivot_query, _, _, _, _ = self._to_pivot(query, dataset)
+        return self._explain_pivot(pivot_query, bound_parameters)
+
+    def _explain_pivot(
+        self, pivot_query: ConjunctiveQuery, bound_parameters: Sequence[Variable]
+    ) -> Explanation:
+        rewriter = self._rewriter()
+        outcome: RewritingOutcome = rewriter.rewrite(
+            pivot_query, bound_parameters=bound_parameters
+        )
+        # Duplicate elimination is decided at the facade level (SQL bag
+        # semantics vs. pivot-query set semantics), so plans are built without
+        # a blanket Deduplicate.
+        planner = Planner(self._manager, distinct=False)
+        chooser = PlanChooser(planner, self._cost_model)
+        ranked: list[RankedPlan] = []
+        chosen: RankedPlan | None = None
+        notes: list[str] = []
+        if outcome.feasible_rewritings:
+            try:
+                ranked = chooser.rank(outcome.feasible_rewritings, bound_parameters=bound_parameters)
+                chosen = ranked[0]
+            except NoRewritingFoundError as error:
+                notes.append(str(error))
+        else:
+            notes.append("no feasible rewriting over the registered fragments")
+        return Explanation(
+            pivot_query=pivot_query,
+            rewritings=outcome.rewritings,
+            feasible_rewritings=outcome.feasible_rewritings,
+            ranked_plans=ranked,
+            chosen=chosen,
+            rewriting_seconds=outcome.elapsed_seconds,
+            algorithm=outcome.algorithm,
+            notes=notes,
+        )
+
+    def query(
+        self,
+        query: ConjunctiveQuery | str | DocumentQuery,
+        dataset: str | None = None,
+        bound_parameters: Sequence[Variable] = (),
+    ) -> QueryResult:
+        """Answer a query over the registered fragments (demo step 3).
+
+        ``query`` may be a pivot conjunctive query, SQL text (``dataset`` must
+        name a relational dataset), or a :class:`DocumentQuery`.
+        """
+        pivot_query, output_names, residual, aggregation, extras = self._to_pivot(query, dataset)
+        explanation = self._explain_pivot(pivot_query, bound_parameters)
+        if explanation.chosen is None:
+            raise NoRewritingFoundError(
+                f"query {pivot_query.name!r} cannot be answered from the registered fragments: "
+                + "; ".join(explanation.notes)
+            )
+        root: Operator = explanation.chosen.plan.root
+        root = self._apply_residual(root, pivot_query, output_names, residual, aggregation, extras)
+        result = self._engine.execute(root)
+        result.plan_description = explanation.plan_text()
+        return result
+
+    # -- helpers ---------------------------------------------------------------------------------
+    def _to_pivot(
+        self, query: ConjunctiveQuery | str | DocumentQuery, dataset: str | None
+    ) -> tuple[ConjunctiveQuery, tuple[str, ...] | None, tuple, object, dict]:
+        if isinstance(query, ConjunctiveQuery):
+            return query, None, (), None, {}
+        if isinstance(query, DocumentQuery):
+            pivot_query, output_names = query.to_pivot()
+            return pivot_query, output_names, (), None, {}
+        if isinstance(query, str):
+            if dataset is None:
+                raise TranslationError("SQL queries need the dataset argument")
+            translated = self.translate_sql(dataset, query)
+            extras = {"distinct": translated.distinct, "limit": translated.limit}
+            return (
+                translated.query,
+                translated.output_names,
+                translated.residual_predicates,
+                translated.aggregation,
+                extras,
+            )
+        raise TranslationError(f"unsupported query type {type(query).__name__}")
+
+    def _apply_residual(
+        self,
+        root: Operator,
+        pivot_query: ConjunctiveQuery,
+        output_names: tuple[str, ...] | None,
+        residual: tuple,
+        aggregation,
+        extras: dict,
+    ) -> Operator:
+        for predicate in residual:
+            comparator = COMPARATORS[predicate.op]
+            if predicate.value_is_column:
+                root = Filter(
+                    root,
+                    lambda b, p=predicate, c=comparator: (
+                        b.get(p.variable) is not None
+                        and b.get(p.value) is not None
+                        and c(b.get(p.variable), b.get(p.value))
+                    ),
+                    label=f"{predicate.variable} {predicate.op} {predicate.value}",
+                )
+            else:
+                root = Filter(
+                    root,
+                    lambda b, p=predicate, c=comparator: (
+                        b.get(p.variable) is not None and c(b.get(p.variable), p.value)
+                    ),
+                    label=f"{predicate.variable} {predicate.op} {predicate.value!r}",
+                )
+        if aggregation is not None:
+            root = Aggregate(root, aggregation.group_by, aggregation.aggregations)
+        # SQL defaults to bag semantics (DISTINCT opts into sets); plain pivot
+        # conjunctive queries follow the usual set semantics.
+        pivot_set_semantics = output_names is None and aggregation is None
+        if extras.get("distinct") or pivot_set_semantics:
+            root = Deduplicate(root)
+        root = _RenameAndLimit(root, pivot_query, output_names, extras.get("limit"))
+        return root
+
+    # -- storage advisor ------------------------------------------------------------------------
+    def recommend_fragments(self, workload, **options):
+        """Run the storage advisor on a workload (see :mod:`repro.advisor`)."""
+        from repro.advisor import StorageAdvisor
+
+        advisor = StorageAdvisor(self)
+        return advisor.recommend(workload, **options)
+
+
+class _RenameAndLimit(Operator):
+    """Rename head variables to output column names and apply LIMIT."""
+
+    def __init__(
+        self,
+        child: Operator,
+        pivot_query: ConjunctiveQuery,
+        output_names: tuple[str, ...] | None,
+        limit: int | None,
+    ) -> None:
+        self._child = child
+        self._pivot_query = pivot_query
+        self._output_names = output_names
+        self._limit = limit
+
+    def children(self) -> Sequence[Operator]:
+        return (self._child,)
+
+    def rows(self, context) -> list[dict[str, object]]:
+        rows = self._child.rows(context)
+        if self._output_names is not None:
+            head_terms = self._pivot_query.head_terms
+            renamed: list[dict[str, object]] = []
+            for row in rows:
+                output: dict[str, object] = {}
+                for name, term in zip(self._output_names, head_terms):
+                    if isinstance(term, Variable):
+                        output[name] = row.get(term.name, row.get(name))
+                    else:
+                        output[name] = term.value
+                # Preserve aggregation outputs and any extra computed columns.
+                for key, value in row.items():
+                    if key not in output and all(
+                        not (isinstance(t, Variable) and t.name == key) for t in head_terms
+                    ):
+                        output.setdefault(key, value)
+                renamed.append(output)
+            rows = renamed
+        if self._limit is not None:
+            rows = rows[: self._limit]
+        return rows
+
+    def describe(self) -> str:
+        return f"Output[{', '.join(self._output_names or ())}]"

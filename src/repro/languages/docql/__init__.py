@@ -1,0 +1,91 @@
+"""Document query front-end: a small fluent builder translated to the pivot model.
+
+Applications querying a document dataset use a MongoDB-style builder rather
+than SQL.  A :class:`DocumentQuery` selects documents of one logical
+collection by equality on dotted paths and projects a set of paths; the
+builder translates to a conjunctive query over the collection's *logical
+relation* (one column per registered path), which is how document-model
+datasets are exposed to the rewriting engine by the facade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.query import ConjunctiveQuery
+from repro.core.terms import Atom, Constant, Term, Variable
+from repro.errors import TranslationError
+
+__all__ = ["DocumentQuery"]
+
+
+def _path_to_column(path: str) -> str:
+    """Dotted paths become column names by replacing dots with underscores."""
+    return path.replace(".", "_")
+
+
+@dataclass(slots=True)
+class DocumentQuery:
+    """A fluent document query over one logical collection.
+
+    Parameters
+    ----------
+    collection:
+        The logical relation name of the collection (as registered with the
+        facade, e.g. ``"carts"``).
+    paths:
+        The dotted paths exposed by the logical relation, in column order.
+    """
+
+    collection: str
+    paths: tuple[str, ...]
+    _filters: dict[str, object] = field(default_factory=dict)
+    _projection: tuple[str, ...] | None = None
+
+    def where(self, path: str, value: object) -> "DocumentQuery":
+        """Add an equality filter on a dotted path (returns self for chaining)."""
+        if path not in self.paths:
+            raise TranslationError(
+                f"collection {self.collection!r} does not expose path {path!r}"
+            )
+        self._filters[path] = value
+        return self
+
+    def select(self, *paths: str) -> "DocumentQuery":
+        """Project the given paths (all paths when never called)."""
+        unknown = [path for path in paths if path not in self.paths]
+        if unknown:
+            raise TranslationError(
+                f"collection {self.collection!r} does not expose paths {unknown}"
+            )
+        self._projection = tuple(paths)
+        return self
+
+    # -- translation ---------------------------------------------------------------
+    def to_pivot(self, query_name: str = "Q") -> tuple[ConjunctiveQuery, tuple[str, ...]]:
+        """Translate to a pivot conjunctive query plus the output column names."""
+        terms: list[Term] = []
+        by_path: dict[str, Term] = {}
+        for path in self.paths:
+            if path in self._filters:
+                term: Term = Constant(self._filters[path])
+            else:
+                term = Variable(_path_to_column(path))
+            terms.append(term)
+            by_path[path] = term
+        projection = self._projection or self.paths
+        head_terms = [by_path[path] for path in projection]
+        query = ConjunctiveQuery(
+            query_name, head_terms, [Atom(self.collection, terms)], name=query_name
+        )
+        output_names = tuple(_path_to_column(path) for path in projection)
+        return query, output_names
+
+    def describe(self) -> Mapping[str, object]:
+        """A JSON-friendly description of the query (for demo-style display)."""
+        return {
+            "collection": self.collection,
+            "filters": dict(self._filters),
+            "projection": list(self._projection or self.paths),
+        }

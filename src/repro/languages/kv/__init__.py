@@ -1,0 +1,53 @@
+"""Key-based search front-end (the native language of key-value datasets).
+
+The key-value API is deliberately tiny: ``get`` and ``mget`` by key over a
+logical collection.  Calls translate to parameterized pivot queries whose key
+variable is a bound parameter, so the rewriting engine and planner see the
+access exactly as the paper describes it (binding patterns with the key as an
+input position).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.query import ConjunctiveQuery
+from repro.core.terms import Atom, Constant, Variable
+
+__all__ = ["KeyValueApi"]
+
+
+@dataclass(frozen=True, slots=True)
+class KeyValueApi:
+    """Key-based access to one logical collection.
+
+    Parameters
+    ----------
+    collection:
+        The logical relation name (as registered with the facade).
+    columns:
+        The column names of the logical relation; the first one is the key.
+    """
+
+    collection: str
+    columns: tuple[str, ...]
+
+    def get_query(self, key: object, query_name: str = "Q") -> tuple[ConjunctiveQuery, tuple[str, ...]]:
+        """A pivot query fetching the entry stored under ``key``."""
+        terms: list[object] = [Constant(key)]
+        head: list[object] = []
+        names: list[str] = []
+        for column in self.columns[1:]:
+            variable = Variable(column)
+            terms.append(variable)
+            head.append(variable)
+            names.append(column)
+        query = ConjunctiveQuery(query_name, head, [Atom(self.collection, terms)], name=query_name)
+        return query, tuple(names)
+
+    def mget_queries(
+        self, keys: Sequence[object], query_name: str = "Q"
+    ) -> list[tuple[object, ConjunctiveQuery, tuple[str, ...]]]:
+        """One pivot query per key (the facade executes them in a batch)."""
+        return [(key, *self.get_query(key, query_name=f"{query_name}_{i}")) for i, key in enumerate(keys)]

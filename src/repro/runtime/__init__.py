@@ -1,0 +1,36 @@
+"""Lightweight nested-relational execution engine (the ESTOCADA runtime)."""
+
+from repro.runtime.engine import ExecutionEngine, QueryResult, StoreBreakdown
+from repro.runtime.operators import (
+    Aggregate,
+    BindJoin,
+    Deduplicate,
+    DelegatedRequest,
+    ExecutionContext,
+    Filter,
+    HashJoin,
+    NestedConstruct,
+    Operator,
+    Project,
+)
+from repro.runtime.values import Binding, merge_bindings, nest_rows, project_binding
+
+__all__ = [
+    "ExecutionEngine",
+    "QueryResult",
+    "StoreBreakdown",
+    "Operator",
+    "ExecutionContext",
+    "DelegatedRequest",
+    "BindJoin",
+    "HashJoin",
+    "Filter",
+    "Project",
+    "Deduplicate",
+    "NestedConstruct",
+    "Aggregate",
+    "Binding",
+    "merge_bindings",
+    "project_binding",
+    "nest_rows",
+]

@@ -1,0 +1,108 @@
+"""The runtime execution engine: evaluates a physical plan and reports metrics.
+
+The engine is deliberately small — ESTOCADA pushes as much work as possible to
+the underlying stores, and the runtime only evaluates the "last-step"
+operations (BindJoin, mediator-side joins, residual filters, projection and
+nested construction).  The :class:`QueryResult` carries the answer rows plus a
+performance breakdown *split across the underlying DMSs and the runtime*,
+which is exactly what the demo's step 3 displays.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.runtime.operators import ExecutionContext, Operator
+from repro.runtime.values import Binding
+from repro.stores.base import StoreMetrics
+
+__all__ = ["StoreBreakdown", "QueryResult", "ExecutionEngine"]
+
+
+@dataclass(slots=True)
+class StoreBreakdown:
+    """Aggregated metrics of the requests sent to one store during a query."""
+
+    store: str
+    requests: int = 0
+    rows_scanned: int = 0
+    rows_returned: int = 0
+    index_lookups: int = 0
+    elapsed_seconds: float = 0.0
+
+
+@dataclass(slots=True)
+class QueryResult:
+    """Answer rows plus the per-store / runtime performance breakdown."""
+
+    rows: list[Binding]
+    elapsed_seconds: float
+    store_breakdown: dict[str, StoreBreakdown] = field(default_factory=dict)
+    runtime_rows_processed: int = 0
+    plan_description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def stores_time(self) -> float:
+        """Total time spent inside the underlying stores."""
+        return sum(b.elapsed_seconds for b in self.store_breakdown.values())
+
+    def runtime_time(self) -> float:
+        """Time spent in the ESTOCADA runtime (total minus store time)."""
+        return max(self.elapsed_seconds - self.stores_time(), 0.0)
+
+    def summary(self) -> Mapping[str, object]:
+        """A JSON-friendly summary (used by the demo-style reporting)."""
+        return {
+            "rows": len(self.rows),
+            "elapsed_seconds": self.elapsed_seconds,
+            "runtime_seconds": self.runtime_time(),
+            "stores": {
+                name: {
+                    "requests": breakdown.requests,
+                    "rows_scanned": breakdown.rows_scanned,
+                    "rows_returned": breakdown.rows_returned,
+                    "index_lookups": breakdown.index_lookups,
+                    "elapsed_seconds": breakdown.elapsed_seconds,
+                }
+                for name, breakdown in self.store_breakdown.items()
+            },
+        }
+
+
+class ExecutionEngine:
+    """Evaluates physical plans built by the planner."""
+
+    def execute(
+        self,
+        plan: Operator,
+        parameters: Mapping[str, object] | None = None,
+    ) -> QueryResult:
+        """Run ``plan`` and return its result with the performance breakdown."""
+        context = ExecutionContext(parameters=dict(parameters or {}))
+        started = time.perf_counter()
+        rows = plan.rows(context)
+        elapsed = time.perf_counter() - started
+
+        breakdown: dict[str, StoreBreakdown] = {}
+        for store_name, result in context.store_results:
+            entry = breakdown.setdefault(store_name, StoreBreakdown(store=store_name))
+            entry.requests += 1
+            entry.rows_scanned += result.metrics.rows_scanned
+            entry.rows_returned += result.metrics.rows_returned
+            entry.index_lookups += result.metrics.index_lookups
+            entry.elapsed_seconds += result.metrics.elapsed_seconds
+
+        return QueryResult(
+            rows=rows,
+            elapsed_seconds=elapsed,
+            store_breakdown=breakdown,
+            runtime_rows_processed=context.runtime_rows_processed,
+            plan_description=plan.explain(),
+        )

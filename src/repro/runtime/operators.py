@@ -1,0 +1,372 @@
+"""Physical operators of the ESTOCADA runtime execution engine.
+
+The runtime evaluates the *non-delegated* part of a plan: it stitches
+together the results of the sub-queries delegated to the underlying stores.
+Operators are small composable objects; ``rows(context)`` returns a list of
+bindings (variable name → value).  The operator set follows the paper:
+
+* :class:`DelegatedRequest` — evaluate a store request (the delegated
+  sub-query) and map its rows to pivot variables;
+* :class:`BindJoin` — the operator "needed to access data sources with access
+  restrictions": for each left binding, call the restricted source with the
+  required inputs bound;
+* :class:`HashJoin` — mediator-side equi-join of two sub-plans;
+* :class:`Filter`, :class:`Project`, :class:`Deduplicate` — residual
+  selections/projections;
+* :class:`NestedConstruct` — builds nested results when no store can;
+* :class:`Aggregate` — simple grouped aggregation for the benchmark queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import ExecutionError
+from repro.runtime.values import Binding, merge_bindings, nest_rows, project_binding
+from repro.stores.base import LookupRequest, Predicate, ScanRequest, Store, StoreRequest, StoreResult
+
+__all__ = [
+    "ExecutionContext",
+    "Operator",
+    "DelegatedRequest",
+    "BindJoin",
+    "HashJoin",
+    "Filter",
+    "Project",
+    "Deduplicate",
+    "NestedConstruct",
+    "Aggregate",
+]
+
+
+@dataclass(slots=True)
+class ExecutionContext:
+    """Mutable per-execution state: parameters and per-store metrics."""
+
+    parameters: dict[str, object] = field(default_factory=dict)
+    store_results: list[tuple[str, StoreResult]] = field(default_factory=list)
+    runtime_rows_processed: int = 0
+
+    def record(self, store_name: str, result: StoreResult) -> None:
+        """Record a store result for the per-store performance breakdown."""
+        self.store_results.append((store_name, result))
+
+
+class Operator:
+    """Base class of every physical operator."""
+
+    def rows(self, context: ExecutionContext) -> list[Binding]:
+        """Evaluate the operator and return its bindings."""
+        raise NotImplementedError
+
+    def children(self) -> Sequence["Operator"]:
+        """Child operators (for plan printing and tests)."""
+        return ()
+
+    def explain(self, indent: int = 0) -> str:
+        """A printable description of the sub-plan rooted at this operator."""
+        line = "  " * indent + self.describe()
+        for child in self.children():
+            line += "\n" + child.explain(indent + 1)
+        return line
+
+    def describe(self) -> str:
+        """One-line description of this operator."""
+        return type(self).__name__
+
+
+@dataclass(slots=True)
+class _ColumnBinding:
+    """How one store column maps to a pivot variable or a required constant."""
+
+    store_column: str
+    variable: str | None = None
+    constant: object | None = None
+    is_constant: bool = False
+
+
+class DelegatedRequest(Operator):
+    """Evaluate a store request and map its rows to variable bindings.
+
+    ``output`` maps store column names to variable names; ``constants`` lists
+    (store column, value) pairs that must hold on returned rows (constants in
+    the rewriting atom that the store may or may not have filtered already).
+    """
+
+    def __init__(
+        self,
+        store: Store,
+        request: StoreRequest,
+        output: Mapping[str, str],
+        constants: Mapping[str, object] | None = None,
+        label: str | None = None,
+    ) -> None:
+        self._store = store
+        self._request = request
+        self._output = dict(output)
+        self._constants = dict(constants or {})
+        self._label = label or getattr(request, "collection", type(request).__name__)
+
+    def rows(self, context: ExecutionContext) -> list[Binding]:
+        result = self._store.execute(self._request)
+        context.record(self._store.name, result)
+        bindings: list[Binding] = []
+        for row in result.rows:
+            if any(row.get(column) != value for column, value in self._constants.items()):
+                continue
+            bindings.append(
+                {variable: row.get(column) for column, variable in self._output.items()}
+            )
+        context.runtime_rows_processed += len(bindings)
+        return bindings
+
+    def describe(self) -> str:
+        return (
+            f"DelegatedRequest[store={self._store.name}, {self._label}, "
+            f"vars={sorted(self._output.values())}]"
+        )
+
+
+class BindJoin(Operator):
+    """For every left binding, probe an access-restricted source.
+
+    ``request_factory`` receives the left binding and returns the store
+    request to issue (typically a :class:`LookupRequest` with the key bound,
+    or a :class:`ScanRequest` with an equality predicate).  Rows returned by
+    the probe are mapped through ``output`` and merged with the left binding.
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        store: Store,
+        request_factory: Callable[[Binding], StoreRequest | None],
+        output: Mapping[str, str],
+        constants: Mapping[str, object] | None = None,
+        label: str = "probe",
+    ) -> None:
+        self._left = left
+        self._store = store
+        self._request_factory = request_factory
+        self._output = dict(output)
+        self._constants = dict(constants or {})
+        self._label = label
+
+    def children(self) -> Sequence[Operator]:
+        return (self._left,)
+
+    def rows(self, context: ExecutionContext) -> list[Binding]:
+        results: list[Binding] = []
+        for left_binding in self._left.rows(context):
+            request = self._request_factory(left_binding)
+            if request is None:
+                continue
+            probe = self._store.execute(request)
+            context.record(self._store.name, probe)
+            for row in probe.rows:
+                if any(row.get(column) != value for column, value in self._constants.items()):
+                    continue
+                right_binding = {
+                    variable: row.get(column) for column, variable in self._output.items()
+                }
+                merged = merge_bindings(left_binding, right_binding)
+                if merged is not None:
+                    results.append(merged)
+        context.runtime_rows_processed += len(results)
+        return results
+
+    def describe(self) -> str:
+        return f"BindJoin[store={self._store.name}, {self._label}, vars={sorted(self._output.values())}]"
+
+
+class HashJoin(Operator):
+    """Mediator-side equi-join of two sub-plans on their shared variables."""
+
+    def __init__(self, left: Operator, right: Operator, on: Sequence[str] | None = None) -> None:
+        self._left = left
+        self._right = right
+        self._on = tuple(on) if on is not None else None
+
+    def children(self) -> Sequence[Operator]:
+        return (self._left, self._right)
+
+    def rows(self, context: ExecutionContext) -> list[Binding]:
+        left_rows = self._left.rows(context)
+        right_rows = self._right.rows(context)
+        if not left_rows or not right_rows:
+            return []
+        join_variables = self._on
+        if join_variables is None:
+            join_variables = tuple(
+                sorted(set(left_rows[0]) & set(right_rows[0]))
+            )
+        if not join_variables:
+            # Cartesian product (rare: disconnected rewriting atoms).
+            product = []
+            for left_binding in left_rows:
+                for right_binding in right_rows:
+                    merged = merge_bindings(left_binding, right_binding)
+                    if merged is not None:
+                        product.append(merged)
+            context.runtime_rows_processed += len(product)
+            return product
+        build: dict[tuple, list[Binding]] = {}
+        for right_binding in right_rows:
+            key = tuple(right_binding.get(variable) for variable in join_variables)
+            build.setdefault(key, []).append(right_binding)
+        joined: list[Binding] = []
+        for left_binding in left_rows:
+            key = tuple(left_binding.get(variable) for variable in join_variables)
+            for right_binding in build.get(key, ()):
+                merged = merge_bindings(left_binding, right_binding)
+                if merged is not None:
+                    joined.append(merged)
+        context.runtime_rows_processed += len(joined)
+        return joined
+
+    def describe(self) -> str:
+        on = "natural" if self._on is None else ",".join(self._on)
+        return f"HashJoin[on={on}]"
+
+
+class Filter(Operator):
+    """Residual selection applied by the runtime."""
+
+    def __init__(self, child: Operator, predicate: Callable[[Binding], bool], label: str = "") -> None:
+        self._child = child
+        self._predicate = predicate
+        self._label = label
+
+    def children(self) -> Sequence[Operator]:
+        return (self._child,)
+
+    def rows(self, context: ExecutionContext) -> list[Binding]:
+        selected = [binding for binding in self._child.rows(context) if self._predicate(binding)]
+        context.runtime_rows_processed += len(selected)
+        return selected
+
+    def describe(self) -> str:
+        return f"Filter[{self._label}]" if self._label else "Filter"
+
+
+class Project(Operator):
+    """Keep only the distinguished variables, optionally renaming them."""
+
+    def __init__(self, child: Operator, variables: Sequence[str],
+                 renaming: Mapping[str, str] | None = None) -> None:
+        self._child = child
+        self._variables = tuple(variables)
+        self._renaming = dict(renaming or {})
+
+    def children(self) -> Sequence[Operator]:
+        return (self._child,)
+
+    def rows(self, context: ExecutionContext) -> list[Binding]:
+        projected: list[Binding] = []
+        for binding in self._child.rows(context):
+            narrowed = project_binding(binding, self._variables)
+            if self._renaming:
+                narrowed = {self._renaming.get(k, k): v for k, v in narrowed.items()}
+            projected.append(narrowed)
+        return projected
+
+    def describe(self) -> str:
+        return f"Project[{', '.join(self._variables)}]"
+
+
+class Deduplicate(Operator):
+    """Set semantics: drop duplicate bindings."""
+
+    def __init__(self, child: Operator) -> None:
+        self._child = child
+
+    def children(self) -> Sequence[Operator]:
+        return (self._child,)
+
+    def rows(self, context: ExecutionContext) -> list[Binding]:
+        seen: set[tuple] = set()
+        unique: list[Binding] = []
+        for binding in self._child.rows(context):
+            key = tuple(sorted((k, repr(v)) for k, v in binding.items()))
+            if key not in seen:
+                seen.add(key)
+                unique.append(binding)
+        return unique
+
+
+class NestedConstruct(Operator):
+    """Construct nested results (a list-valued column per group)."""
+
+    def __init__(
+        self,
+        child: Operator,
+        group_keys: Sequence[str],
+        nested_name: str,
+        nested_columns: Sequence[str],
+    ) -> None:
+        self._child = child
+        self._group_keys = tuple(group_keys)
+        self._nested_name = nested_name
+        self._nested_columns = tuple(nested_columns)
+
+    def children(self) -> Sequence[Operator]:
+        return (self._child,)
+
+    def rows(self, context: ExecutionContext) -> list[Binding]:
+        return nest_rows(
+            self._child.rows(context), self._group_keys, self._nested_name, self._nested_columns
+        )
+
+    def describe(self) -> str:
+        return f"NestedConstruct[{self._nested_name} by {', '.join(self._group_keys)}]"
+
+
+class Aggregate(Operator):
+    """Grouped aggregation (count/sum/avg/min/max) evaluated by the runtime."""
+
+    _FUNCTIONS = {"count", "sum", "avg", "min", "max"}
+
+    def __init__(
+        self,
+        child: Operator,
+        group_by: Sequence[str],
+        aggregations: Mapping[str, tuple[str, str | None]],
+    ) -> None:
+        for name, (function, _) in aggregations.items():
+            if function not in self._FUNCTIONS:
+                raise ExecutionError(f"unsupported aggregation function {function!r} for {name!r}")
+        self._child = child
+        self._group_by = tuple(group_by)
+        self._aggregations = dict(aggregations)
+
+    def children(self) -> Sequence[Operator]:
+        return (self._child,)
+
+    def rows(self, context: ExecutionContext) -> list[Binding]:
+        groups: dict[tuple, list[Binding]] = {}
+        for binding in self._child.rows(context):
+            key = tuple(binding.get(variable) for variable in self._group_by)
+            groups.setdefault(key, []).append(binding)
+        output: list[Binding] = []
+        for key, members in groups.items():
+            row: Binding = dict(zip(self._group_by, key))
+            for name, (function, column) in self._aggregations.items():
+                values = [m.get(column) for m in members if column is not None]
+                values = [v for v in values if v is not None]
+                if function == "count":
+                    row[name] = len(members) if column is None else len(values)
+                elif function == "sum":
+                    row[name] = sum(values) if values else 0
+                elif function == "avg":
+                    row[name] = (sum(values) / len(values)) if values else None
+                elif function == "min":
+                    row[name] = min(values) if values else None
+                elif function == "max":
+                    row[name] = max(values) if values else None
+            output.append(row)
+        context.runtime_rows_processed += len(output)
+        return output
+
+    def describe(self) -> str:
+        return f"Aggregate[by {', '.join(self._group_by) or '()'}]"

@@ -1,0 +1,248 @@
+"""Common store abstraction for the simulated DMS substrates.
+
+The paper's prototype talks to Postgres, MongoDB, Redis, SOLR and Spark; this
+reproduction replaces them with in-process simulators that expose a common
+minimal interface to the ESTOCADA mediator:
+
+* a **capability profile** (:class:`StoreCapabilities`) describing which
+  operations the store can evaluate natively — selections, projections,
+  joins, key lookups, text search, nested construction — which is what the
+  translation layer consults when deciding how much of a rewriting can be
+  *delegated* to the store;
+* a micro-IR of **store requests** (:class:`ScanRequest`,
+  :class:`LookupRequest`, :class:`JoinRequest`, :class:`SearchRequest`)
+  that delegated sub-queries are compiled into;
+* a uniform **result** type carrying rows (as dictionaries) plus the
+  execution metrics that the demo scenario surfaces ("performance statistics
+  split across the underlying DMS and ESTOCADA's runtime").
+
+Each concrete store also exposes simple statistics (cardinalities, distinct
+counts) consumed by the cost model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.errors import StoreError, UnsupportedOperationError
+
+__all__ = [
+    "StoreCapabilities",
+    "Predicate",
+    "ScanRequest",
+    "LookupRequest",
+    "JoinRequest",
+    "SearchRequest",
+    "StoreRequest",
+    "StoreResult",
+    "StoreMetrics",
+    "Store",
+    "COMPARATORS",
+]
+
+
+COMPARATORS: dict[str, Callable[[object, object], bool]] = {
+    "=": lambda left, right: left == right,
+    "!=": lambda left, right: left != right,
+    "<": lambda left, right: left is not None and right is not None and left < right,
+    "<=": lambda left, right: left is not None and right is not None and left <= right,
+    ">": lambda left, right: left is not None and right is not None and left > right,
+    ">=": lambda left, right: left is not None and right is not None and left >= right,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class StoreCapabilities:
+    """What a store can evaluate natively.
+
+    The mediator delegates to the store exactly the operations the store
+    supports and evaluates the rest itself (paper, Section III, "Evaluation
+    of non-delegated operations").
+    """
+
+    name: str
+    data_model: str
+    supports_scan: bool = True
+    supports_selection: bool = True
+    supports_projection: bool = True
+    supports_join: bool = False
+    supports_aggregation: bool = False
+    supports_key_lookup: bool = False
+    requires_key_lookup: bool = False
+    supports_text_search: bool = False
+    supports_nested_results: bool = False
+    parallel: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Predicate:
+    """A simple comparison predicate ``column <op> value`` on a collection."""
+
+    column: str
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARATORS:
+            raise StoreError(f"unsupported predicate operator {self.op!r}")
+
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        """Evaluate the predicate on one row (missing columns compare as None)."""
+        return COMPARATORS[self.op](row.get(self.column), self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class ScanRequest:
+    """Scan a collection, applying predicates and a projection."""
+
+    collection: str
+    predicates: tuple[Predicate, ...] = ()
+    projection: tuple[str, ...] | None = None
+    limit: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class LookupRequest:
+    """Point lookup(s) by key in a key-access collection."""
+
+    collection: str
+    keys: tuple[object, ...]
+    projection: tuple[str, ...] | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class JoinRequest:
+    """A join of two sub-requests on column equality, for join-capable stores."""
+
+    left: "StoreRequest"
+    right: "StoreRequest"
+    on: tuple[tuple[str, str], ...]
+    projection: tuple[str, ...] | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class SearchRequest:
+    """Full-text search over a collection (SOLR-like stores)."""
+
+    collection: str
+    text: str
+    fields: tuple[str, ...] = ()
+    limit: int | None = None
+
+
+StoreRequest = ScanRequest | LookupRequest | JoinRequest | SearchRequest
+
+
+@dataclass(slots=True)
+class StoreMetrics:
+    """Execution metrics reported by a store for one request."""
+
+    rows_scanned: int = 0
+    rows_returned: int = 0
+    index_lookups: int = 0
+    partitions_used: int = 0
+    elapsed_seconds: float = 0.0
+
+    def merge(self, other: "StoreMetrics") -> "StoreMetrics":
+        """Combine the metrics of two requests (used by composite requests)."""
+        return StoreMetrics(
+            rows_scanned=self.rows_scanned + other.rows_scanned,
+            rows_returned=self.rows_returned + other.rows_returned,
+            index_lookups=self.index_lookups + other.index_lookups,
+            partitions_used=self.partitions_used + other.partitions_used,
+            elapsed_seconds=self.elapsed_seconds + other.elapsed_seconds,
+        )
+
+
+@dataclass(slots=True)
+class StoreResult:
+    """Rows returned by a store, plus the metrics of the request."""
+
+    rows: list[dict[str, object]]
+    metrics: StoreMetrics = field(default_factory=StoreMetrics)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+class Store:
+    """Abstract base class of every simulated DMS.
+
+    Subclasses implement :meth:`_execute` for the request kinds they support
+    and declare their profile via :meth:`capabilities`.  The public
+    :meth:`execute` wrapper adds timing and cumulative per-store counters used
+    by the demo's performance reporting.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._total_metrics = StoreMetrics()
+        self._requests_served = 0
+
+    # -- interface to implement ------------------------------------------------
+    def capabilities(self) -> StoreCapabilities:
+        """The store's capability profile."""
+        raise NotImplementedError
+
+    def collections(self) -> Sequence[str]:
+        """Names of the collections/tables currently stored."""
+        raise NotImplementedError
+
+    def collection_size(self, collection: str) -> int:
+        """Number of rows/documents/entries in ``collection``."""
+        raise NotImplementedError
+
+    def column_statistics(self, collection: str, column: str) -> Mapping[str, object]:
+        """Basic per-column statistics (count, distinct) for the cost model."""
+        raise NotImplementedError
+
+    def _execute(self, request: StoreRequest) -> StoreResult:
+        raise NotImplementedError
+
+    # -- public API -------------------------------------------------------------
+    def execute(self, request: StoreRequest) -> StoreResult:
+        """Execute a request, recording timing and cumulative metrics."""
+        started = time.perf_counter()
+        result = self._execute(request)
+        result.metrics.elapsed_seconds = time.perf_counter() - started
+        result.metrics.rows_returned = len(result.rows)
+        self._total_metrics = self._total_metrics.merge(result.metrics)
+        self._requests_served += 1
+        return result
+
+    def reset_metrics(self) -> None:
+        """Zero the cumulative counters (used between benchmark runs)."""
+        self._total_metrics = StoreMetrics()
+        self._requests_served = 0
+
+    @property
+    def total_metrics(self) -> StoreMetrics:
+        """Cumulative metrics across all requests served."""
+        return self._total_metrics
+
+    @property
+    def requests_served(self) -> int:
+        """Number of requests served since the last reset."""
+        return self._requests_served
+
+    # -- helpers for subclasses ----------------------------------------------------
+    def _reject(self, operation: str) -> UnsupportedOperationError:
+        return UnsupportedOperationError(
+            f"store {self.name!r} ({self.capabilities().data_model}) does not support {operation}"
+        )
+
+    @staticmethod
+    def _apply_projection(
+        rows: Iterable[Mapping[str, object]], projection: Sequence[str] | None
+    ) -> list[dict[str, object]]:
+        if projection is None:
+            return [dict(row) for row in rows]
+        return [{column: row.get(column) for column in projection} for row in rows]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{type(self).__name__} {self.name!r}>"

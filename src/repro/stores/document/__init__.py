@@ -1,0 +1,5 @@
+"""Simulated document store (MongoDB stand-in)."""
+
+from repro.stores.document.store import DocumentStore, flatten_document, get_path
+
+__all__ = ["DocumentStore", "get_path", "flatten_document"]

@@ -1,0 +1,233 @@
+"""The simulated document store (MongoDB stand-in).
+
+Collections hold JSON-like documents (nested dictionaries and lists).  The
+store answers path-predicate scans and single-field index lookups, and it can
+project dotted paths — but, like most document stores, it does **not** support
+joins: joins across collections (or with other stores) must be evaluated by
+the ESTOCADA runtime, which is exactly the behaviour the paper relies on when
+discussing non-delegated operations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import SchemaError, StoreError, UnsupportedOperationError
+from repro.stores.base import (
+    JoinRequest,
+    LookupRequest,
+    Predicate,
+    ScanRequest,
+    SearchRequest,
+    Store,
+    StoreCapabilities,
+    StoreMetrics,
+    StoreRequest,
+    StoreResult,
+)
+
+__all__ = ["DocumentStore", "get_path", "flatten_document"]
+
+
+def get_path(document: Mapping[str, object], path: str) -> object:
+    """Resolve a dotted path (``"user.address.city"``) inside a document.
+
+    Missing intermediate keys yield None.  A numeric path segment indexes into
+    a list.
+    """
+    current: object = document
+    for segment in path.split("."):
+        if isinstance(current, Mapping):
+            current = current.get(segment)
+        elif isinstance(current, (list, tuple)) and segment.isdigit():
+            index = int(segment)
+            current = current[index] if index < len(current) else None
+        else:
+            return None
+    return current
+
+
+def flatten_document(document: Mapping[str, object], prefix: str = "") -> dict[str, object]:
+    """Flatten nested keys into dotted paths (lists are kept as values)."""
+    flat: dict[str, object] = {}
+    for key, value in document.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, Mapping):
+            flat.update(flatten_document(value, prefix=f"{path}."))
+        else:
+            flat[path] = value
+    return flat
+
+
+class DocumentStore(Store):
+    """An in-memory document DMS with path predicates and single-field indexes."""
+
+    def __init__(self, name: str = "document") -> None:
+        super().__init__(name)
+        self._collections: dict[str, list[dict[str, object]]] = {}
+        self._indexes: dict[tuple[str, str], dict[object, list[int]]] = {}
+
+    # -- collection management -----------------------------------------------------
+    def create_collection(self, name: str) -> None:
+        """Create an empty collection (idempotent)."""
+        self._collections.setdefault(name, [])
+
+    def drop_collection(self, name: str) -> None:
+        """Drop a collection and its indexes."""
+        if name not in self._collections:
+            raise StoreError(f"collection {name!r} does not exist in store {self.name!r}")
+        del self._collections[name]
+        self._indexes = {
+            key: value for key, value in self._indexes.items() if key[0] != name
+        }
+
+    def insert(self, collection: str, documents: Iterable[Mapping[str, object]]) -> int:
+        """Insert documents into a collection (created on demand)."""
+        bucket = self._collections.setdefault(collection, [])
+        count = 0
+        for document in documents:
+            if not isinstance(document, Mapping):
+                raise SchemaError("documents must be mappings")
+            position = len(bucket)
+            stored = dict(document)
+            bucket.append(stored)
+            for (indexed_collection, path), index in self._indexes.items():
+                if indexed_collection == collection:
+                    index.setdefault(get_path(stored, path), []).append(position)
+            count += 1
+        return count
+
+    def create_index(self, collection: str, path: str) -> None:
+        """Create a single-field index on a dotted path."""
+        documents = self._collections.get(collection)
+        if documents is None:
+            raise StoreError(f"collection {collection!r} does not exist in store {self.name!r}")
+        index: dict[object, list[int]] = {}
+        for position, document in enumerate(documents):
+            index.setdefault(get_path(document, path), []).append(position)
+        self._indexes[(collection, path)] = index
+
+    # -- store interface ---------------------------------------------------------------
+    def capabilities(self) -> StoreCapabilities:
+        return StoreCapabilities(
+            name=self.name,
+            data_model="document",
+            supports_scan=True,
+            supports_selection=True,
+            supports_projection=True,
+            supports_join=False,
+            supports_aggregation=False,
+            supports_key_lookup=True,
+            requires_key_lookup=False,
+            supports_text_search=False,
+            supports_nested_results=True,
+            parallel=False,
+        )
+
+    def collections(self) -> Sequence[str]:
+        return tuple(self._collections)
+
+    def collection_size(self, collection: str) -> int:
+        documents = self._collections.get(collection)
+        if documents is None:
+            raise StoreError(f"collection {collection!r} does not exist in store {self.name!r}")
+        return len(documents)
+
+    def column_statistics(self, collection: str, column: str) -> Mapping[str, object]:
+        documents = self._collections.get(collection)
+        if documents is None:
+            raise StoreError(f"collection {collection!r} does not exist in store {self.name!r}")
+        values = {self._freeze(get_path(d, column)) for d in documents}
+        return {
+            "count": len(documents),
+            "distinct": len(values),
+            "indexed": (collection, column) in self._indexes,
+        }
+
+    @staticmethod
+    def _freeze(value: object) -> object:
+        if isinstance(value, (list, dict)):
+            return repr(value)
+        return value
+
+    # -- execution ------------------------------------------------------------------------
+    def _execute(self, request: StoreRequest) -> StoreResult:
+        if isinstance(request, ScanRequest):
+            return self._execute_scan(request)
+        if isinstance(request, LookupRequest):
+            return self._execute_lookup(request)
+        if isinstance(request, JoinRequest):
+            raise self._reject("joins")
+        if isinstance(request, SearchRequest):
+            raise self._reject("full-text search")
+        raise UnsupportedOperationError(f"unknown request type {type(request).__name__}")
+
+    def _documents(self, collection: str) -> list[dict[str, object]]:
+        documents = self._collections.get(collection)
+        if documents is None:
+            raise StoreError(f"collection {collection!r} does not exist in store {self.name!r}")
+        return documents
+
+    def _execute_scan(self, request: ScanRequest) -> StoreResult:
+        documents = self._documents(request.collection)
+        metrics = StoreMetrics()
+
+        candidate_positions: Sequence[int] | None = None
+        for predicate in request.predicates:
+            if predicate.op != "=":
+                continue
+            index = self._indexes.get((request.collection, predicate.column))
+            if index is None:
+                continue
+            positions = index.get(predicate.value, ())
+            metrics.index_lookups += 1
+            if candidate_positions is None or len(positions) < len(candidate_positions):
+                candidate_positions = positions
+
+        if candidate_positions is None:
+            candidates = documents
+            metrics.rows_scanned += len(documents)
+        else:
+            candidates = [documents[p] for p in candidate_positions]
+            metrics.rows_scanned += len(candidates)
+
+        selected = [
+            document
+            for document in candidates
+            if all(self._evaluate(document, predicate) for predicate in request.predicates)
+        ]
+        if request.limit is not None:
+            selected = selected[: request.limit]
+        rows = self._project(selected, request.projection)
+        return StoreResult(rows=rows, metrics=metrics)
+
+    def _execute_lookup(self, request: LookupRequest) -> StoreResult:
+        # Documents are looked up by their "_id" path by convention.
+        documents = self._documents(request.collection)
+        metrics = StoreMetrics()
+        index = self._indexes.get((request.collection, "_id"))
+        rows: list[dict[str, object]] = []
+        for key in request.keys:
+            metrics.index_lookups += 1
+            if index is not None:
+                rows.extend(documents[p] for p in index.get(key, ()))
+            else:
+                metrics.rows_scanned += len(documents)
+                rows.extend(d for d in documents if d.get("_id") == key)
+        return StoreResult(rows=self._project(rows, request.projection), metrics=metrics)
+
+    @staticmethod
+    def _evaluate(document: Mapping[str, object], predicate: Predicate) -> bool:
+        value = get_path(document, predicate.column)
+        probe = {predicate.column: value}
+        return predicate.evaluate(probe)
+
+    @staticmethod
+    def _project(
+        documents: Sequence[Mapping[str, object]], projection: Sequence[str] | None
+    ) -> list[dict[str, object]]:
+        if projection is None:
+            return [dict(document) for document in documents]
+        return [
+            {path: get_path(document, path) for path in projection} for document in documents
+        ]

@@ -1,0 +1,6 @@
+"""Simulated full-text store (SOLR stand-in)."""
+
+from repro.stores.fulltext.analyzer import Analyzer
+from repro.stores.fulltext.store import FullTextStore
+
+__all__ = ["FullTextStore", "Analyzer"]

@@ -1,0 +1,66 @@
+"""Text analysis for the simulated full-text store: tokenisation and stemming.
+
+A deliberately small analyzer in the spirit of Lucene's ``StandardAnalyzer``:
+lower-casing, punctuation splitting, stop-word removal and a light suffix
+stemmer.  It is shared by indexing and query parsing so both sides agree on
+the token stream.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Sequence
+
+__all__ = ["Analyzer", "DEFAULT_STOPWORDS"]
+
+DEFAULT_STOPWORDS = frozenset(
+    """a an and are as at be but by for if in into is it no not of on or such
+    that the their then there these they this to was will with""".split()
+)
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+_SUFFIXES = ("ingly", "edly", "ing", "ies", "ed", "es", "s", "ly")
+
+
+class Analyzer:
+    """Turns raw text into normalized tokens."""
+
+    def __init__(
+        self,
+        stopwords: Iterable[str] = DEFAULT_STOPWORDS,
+        minimum_token_length: int = 2,
+        stem: bool = True,
+    ) -> None:
+        self._stopwords = frozenset(word.lower() for word in stopwords)
+        self._minimum_token_length = minimum_token_length
+        self._stem = stem
+
+    def tokenize(self, text: str) -> list[str]:
+        """All normalized tokens of ``text``, in order (with duplicates)."""
+        if not text:
+            return []
+        tokens: list[str] = []
+        for raw in _TOKEN_PATTERN.findall(text.lower()):
+            if len(raw) < self._minimum_token_length:
+                continue
+            if raw in self._stopwords:
+                continue
+            tokens.append(self.stem(raw) if self._stem else raw)
+        return tokens
+
+    def stem(self, token: str) -> str:
+        """A light suffix-stripping stemmer (keeps at least 3 characters)."""
+        for suffix in _SUFFIXES:
+            if token.endswith(suffix) and len(token) - len(suffix) >= 3:
+                return token[: -len(suffix)]
+        return token
+
+    def analyze_fields(self, document: dict[str, object], fields: Sequence[str]) -> list[str]:
+        """Tokenize the chosen fields of a document (all string fields when empty)."""
+        tokens: list[str] = []
+        targets = fields or [key for key, value in document.items() if isinstance(value, str)]
+        for field in targets:
+            value = document.get(field)
+            if isinstance(value, str):
+                tokens.extend(self.tokenize(value))
+        return tokens

@@ -1,0 +1,5 @@
+"""Simulated key-value store (Redis / Voldemort stand-in)."""
+
+from repro.stores.keyvalue.store import KeyValueStore
+
+__all__ = ["KeyValueStore"]

@@ -1,0 +1,190 @@
+"""The simulated key-value store (Redis / Voldemort stand-in).
+
+Collections map keys to values (plain collections) or to field/value hashes
+(hash collections).  The defining property — central to the paper's encoding
+of access-pattern restrictions — is that entries can only be retrieved **by
+key**: scan requests without an equality predicate on the key are rejected,
+which forces the rewriting engine and planner to produce key-feeding
+(BindJoin) plans.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import AccessPatternViolation, KeyNotFoundError, StoreError, UnsupportedOperationError
+from repro.stores.base import (
+    JoinRequest,
+    LookupRequest,
+    ScanRequest,
+    SearchRequest,
+    Store,
+    StoreCapabilities,
+    StoreMetrics,
+    StoreRequest,
+    StoreResult,
+)
+
+__all__ = ["KeyValueStore"]
+
+
+class KeyValueStore(Store):
+    """An in-memory key-value DMS with a mandatory-key access pattern."""
+
+    def __init__(self, name: str = "keyvalue", allow_scans: bool = False) -> None:
+        super().__init__(name)
+        self._collections: dict[str, dict[object, object]] = {}
+        # Some deployments (e.g. a debugging console) allow full scans; the
+        # default mirrors the paper's restriction.
+        self._allow_scans = allow_scans
+
+    # -- native API ------------------------------------------------------------------
+    def create_collection(self, name: str) -> None:
+        """Create an empty collection (idempotent)."""
+        self._collections.setdefault(name, {})
+
+    def put(self, collection: str, key: object, value: object) -> None:
+        """Store ``value`` under ``key``."""
+        self._collections.setdefault(collection, {})[key] = value
+
+    def put_many(self, collection: str, entries: Mapping[object, object]) -> int:
+        """Store several entries; returns how many were written."""
+        bucket = self._collections.setdefault(collection, {})
+        bucket.update(entries)
+        return len(entries)
+
+    def get(self, collection: str, key: object, missing_ok: bool = True) -> object | None:
+        """Retrieve the value stored under ``key``."""
+        bucket = self._collection(collection)
+        if key not in bucket:
+            if missing_ok:
+                return None
+            raise KeyNotFoundError(f"key {key!r} not found in {collection!r}")
+        return bucket[key]
+
+    def mget(self, collection: str, keys: Iterable[object]) -> list[object | None]:
+        """Retrieve several keys at once (missing keys yield None)."""
+        bucket = self._collection(collection)
+        return [bucket.get(key) for key in keys]
+
+    def delete(self, collection: str, key: object) -> bool:
+        """Delete a key; returns True when it existed."""
+        bucket = self._collection(collection)
+        return bucket.pop(key, _MISSING) is not _MISSING
+
+    def keys(self, collection: str) -> Sequence[object]:
+        """All keys of a collection (administrative operation, not a query path)."""
+        return tuple(self._collection(collection))
+
+    def _collection(self, name: str) -> dict[object, object]:
+        bucket = self._collections.get(name)
+        if bucket is None:
+            raise StoreError(f"collection {name!r} does not exist in store {self.name!r}")
+        return bucket
+
+    # -- store interface -----------------------------------------------------------------
+    def capabilities(self) -> StoreCapabilities:
+        return StoreCapabilities(
+            name=self.name,
+            data_model="keyvalue",
+            supports_scan=self._allow_scans,
+            supports_selection=False,
+            supports_projection=True,
+            supports_join=False,
+            supports_aggregation=False,
+            supports_key_lookup=True,
+            requires_key_lookup=not self._allow_scans,
+            supports_text_search=False,
+            supports_nested_results=False,
+            parallel=False,
+        )
+
+    def collections(self) -> Sequence[str]:
+        return tuple(self._collections)
+
+    def collection_size(self, collection: str) -> int:
+        return len(self._collection(collection))
+
+    def column_statistics(self, collection: str, column: str) -> Mapping[str, object]:
+        bucket = self._collection(collection)
+        if column == "key":
+            return {"count": len(bucket), "distinct": len(bucket), "indexed": True}
+        distinct = set()
+        for value in bucket.values():
+            if isinstance(value, Mapping):
+                field_value = value.get(column)
+            else:
+                field_value = value if column == "value" else None
+            distinct.add(repr(field_value))
+        return {"count": len(bucket), "distinct": len(distinct), "indexed": False}
+
+    # -- execution --------------------------------------------------------------------------
+    def _execute(self, request: StoreRequest) -> StoreResult:
+        if isinstance(request, LookupRequest):
+            return self._execute_lookup(request)
+        if isinstance(request, ScanRequest):
+            return self._execute_scan(request)
+        if isinstance(request, JoinRequest):
+            raise self._reject("joins")
+        if isinstance(request, SearchRequest):
+            raise self._reject("full-text search")
+        raise UnsupportedOperationError(f"unknown request type {type(request).__name__}")
+
+    def _execute_lookup(self, request: LookupRequest) -> StoreResult:
+        bucket = self._collection(request.collection)
+        metrics = StoreMetrics()
+        rows: list[dict[str, object]] = []
+        for key in request.keys:
+            metrics.index_lookups += 1
+            if key not in bucket:
+                continue
+            rows.append(self._entry_to_row(key, bucket[key]))
+        return StoreResult(rows=self._apply_projection(rows, request.projection), metrics=metrics)
+
+    def _execute_scan(self, request: ScanRequest) -> StoreResult:
+        key_values = [
+            predicate.value
+            for predicate in request.predicates
+            if predicate.column == "key" and predicate.op == "="
+        ]
+        if key_values:
+            # A scan pinned to specific key(s) is really a lookup.
+            lookup = LookupRequest(
+                collection=request.collection,
+                keys=tuple(key_values),
+                projection=request.projection,
+            )
+            result = self._execute_lookup(lookup)
+            result.rows = [
+                row
+                for row in result.rows
+                if all(p.evaluate(row) for p in request.predicates if p.column != "key")
+            ]
+            return result
+        if not self._allow_scans:
+            raise AccessPatternViolation(
+                f"key-value store {self.name!r} requires the key to be bound; "
+                f"cannot scan collection {request.collection!r}"
+            )
+        bucket = self._collection(request.collection)
+        metrics = StoreMetrics(rows_scanned=len(bucket))
+        rows = [self._entry_to_row(key, value) for key, value in bucket.items()]
+        rows = [row for row in rows if all(p.evaluate(row) for p in request.predicates)]
+        if request.limit is not None:
+            rows = rows[: request.limit]
+        return StoreResult(rows=self._apply_projection(rows, request.projection), metrics=metrics)
+
+    @staticmethod
+    def _entry_to_row(key: object, value: object) -> dict[str, object]:
+        if isinstance(value, Mapping):
+            row = dict(value)
+            row["key"] = key
+            return row
+        return {"key": key, "value": value}
+
+
+class _Missing:
+    """Sentinel distinguishing "absent" from "stored None"."""
+
+
+_MISSING = _Missing()

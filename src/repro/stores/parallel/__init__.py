@@ -1,0 +1,5 @@
+"""Simulated massively-parallel nested-relation store (Spark stand-in)."""
+
+from repro.stores.parallel.store import ParallelStore
+
+__all__ = ["ParallelStore"]

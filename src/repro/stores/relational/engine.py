@@ -1,0 +1,190 @@
+"""The simulated relational store (Postgres stand-in).
+
+Supports table creation, bulk loads, hash indexes, selection/projection scans,
+primary-key and indexed-equality lookups, and hash joins of delegated
+sub-queries.  The ESTOCADA translation layer delegates the largest relational
+sub-query of a rewriting to this store, exactly as the paper delegates to
+Postgres.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import SchemaError, StoreError, UnsupportedOperationError
+from repro.stores.base import (
+    JoinRequest,
+    LookupRequest,
+    Predicate,
+    ScanRequest,
+    SearchRequest,
+    Store,
+    StoreCapabilities,
+    StoreMetrics,
+    StoreRequest,
+    StoreResult,
+)
+from repro.stores.relational.table import Table
+
+__all__ = ["RelationalStore"]
+
+
+class RelationalStore(Store):
+    """An in-memory relational DMS with indexes and hash joins."""
+
+    def __init__(self, name: str = "relational") -> None:
+        super().__init__(name)
+        self._tables: dict[str, Table] = {}
+
+    # -- DDL / DML ---------------------------------------------------------------
+    def create_table(
+        self, name: str, columns: Sequence[str], primary_key: Sequence[str] = ()
+    ) -> Table:
+        """Create a table; returns the :class:`Table` handle."""
+        if name in self._tables:
+            raise StoreError(f"table {name!r} already exists in store {self.name!r}")
+        table = Table(name, columns, primary_key)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table (missing tables raise)."""
+        if name not in self._tables:
+            raise StoreError(f"table {name!r} does not exist in store {self.name!r}")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        """Look up a table handle by name."""
+        table = self._tables.get(name)
+        if table is None:
+            raise StoreError(f"table {name!r} does not exist in store {self.name!r}")
+        return table
+
+    def insert(self, table_name: str, rows: Sequence[Mapping[str, object] | Sequence[object]]) -> int:
+        """Bulk-insert rows into a table."""
+        return self.table(table_name).insert_many(rows)
+
+    def create_index(self, table_name: str, column: str) -> None:
+        """Create a hash index on ``table_name.column``."""
+        self.table(table_name).create_index(column)
+
+    # -- store interface ------------------------------------------------------------
+    def capabilities(self) -> StoreCapabilities:
+        return StoreCapabilities(
+            name=self.name,
+            data_model="relational",
+            supports_scan=True,
+            supports_selection=True,
+            supports_projection=True,
+            supports_join=True,
+            supports_aggregation=True,
+            supports_key_lookup=True,
+            requires_key_lookup=False,
+            supports_text_search=False,
+            supports_nested_results=False,
+            parallel=False,
+        )
+
+    def collections(self) -> Sequence[str]:
+        return tuple(self._tables)
+
+    def collection_size(self, collection: str) -> int:
+        return len(self.table(collection))
+
+    def column_statistics(self, collection: str, column: str) -> Mapping[str, object]:
+        table = self.table(collection)
+        if column not in table.columns:
+            raise SchemaError(f"table {collection!r} has no column {column!r}")
+        return {
+            "count": len(table),
+            "distinct": table.distinct_count(column),
+            "indexed": table.index_on(column) is not None,
+        }
+
+    # -- execution ---------------------------------------------------------------------
+    def _execute(self, request: StoreRequest) -> StoreResult:
+        if isinstance(request, ScanRequest):
+            return self._execute_scan(request)
+        if isinstance(request, LookupRequest):
+            return self._execute_lookup(request)
+        if isinstance(request, JoinRequest):
+            return self._execute_join(request)
+        if isinstance(request, SearchRequest):
+            raise self._reject("full-text search")
+        raise UnsupportedOperationError(f"unknown request type {type(request).__name__}")
+
+    def _execute_scan(self, request: ScanRequest) -> StoreResult:
+        table = self.table(request.collection)
+        metrics = StoreMetrics()
+        candidate_positions: Sequence[int] | None = None
+
+        # Use the most selective available index for an equality predicate.
+        for predicate in request.predicates:
+            if predicate.op != "=":
+                continue
+            index = table.index_on(predicate.column)
+            if index is None:
+                continue
+            positions = index.lookup(predicate.value)
+            metrics.index_lookups += 1
+            if candidate_positions is None or len(positions) < len(candidate_positions):
+                candidate_positions = positions
+
+        if candidate_positions is None:
+            rows = list(table.rows)
+            metrics.rows_scanned += len(rows)
+        else:
+            rows = [table.row_at(p) for p in candidate_positions]
+            metrics.rows_scanned += len(rows)
+
+        selected = [row for row in rows if all(p.evaluate(row) for p in request.predicates)]
+        if request.limit is not None:
+            selected = selected[: request.limit]
+        projected = self._apply_projection(selected, request.projection)
+        return StoreResult(rows=projected, metrics=metrics)
+
+    def _execute_lookup(self, request: LookupRequest) -> StoreResult:
+        table = self.table(request.collection)
+        metrics = StoreMetrics()
+        rows: list[dict[str, object]] = []
+        for key in request.keys:
+            metrics.index_lookups += 1
+            if table.primary_key and len(table.primary_key) == 1:
+                row = table.lookup_primary([key])
+                if row is not None:
+                    rows.append(row)
+                continue
+            # Fall back to an index or a scan on the first column.
+            column = table.primary_key[0] if table.primary_key else table.columns[0]
+            index = table.index_on(column)
+            if index is not None:
+                rows.extend(table.row_at(p) for p in index.lookup(key))
+            else:
+                matching = [r for r in table.rows if r.get(column) == key]
+                metrics.rows_scanned += len(table)
+                rows.extend(matching)
+        projected = self._apply_projection(rows, request.projection)
+        return StoreResult(rows=projected, metrics=metrics)
+
+    def _execute_join(self, request: JoinRequest) -> StoreResult:
+        left_result = self._execute(request.left)
+        right_result = self._execute(request.right)
+        metrics = left_result.metrics.merge(right_result.metrics)
+
+        # Hash join on the equality columns.
+        if not request.on:
+            raise StoreError("relational join requires at least one equality column pair")
+        build: dict[tuple, list[dict[str, object]]] = {}
+        for row in right_result.rows:
+            key = tuple(row.get(right_column) for _, right_column in request.on)
+            build.setdefault(key, []).append(row)
+        joined: list[dict[str, object]] = []
+        for row in left_result.rows:
+            key = tuple(row.get(left_column) for left_column, _ in request.on)
+            for match in build.get(key, ()):
+                merged = dict(match)
+                merged.update(row)
+                joined.append(merged)
+        metrics.rows_scanned += len(left_result.rows) + len(right_result.rows)
+        projected = self._apply_projection(joined, request.projection)
+        return StoreResult(rows=projected, metrics=metrics)

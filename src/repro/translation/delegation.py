@@ -1,0 +1,13 @@
+"""Backwards-compatible re-exports of the delegation helpers.
+
+The delegation logic (compiling a group of atoms into the store-request
+micro-IR) lives in :class:`repro.translation.planner.Planner`; the grouping
+step in :mod:`repro.translation.grouping`.  This module re-exports both so
+code organised around the paper's terminology ("rewriting translation →
+grouping → delegation") finds them in the expected place.
+"""
+
+from repro.translation.grouping import DelegationGroup, group_for_delegation, order_atoms
+from repro.translation.planner import Planner, PhysicalPlan
+
+__all__ = ["DelegationGroup", "group_for_delegation", "order_atoms", "Planner", "PhysicalPlan"]

@@ -1,0 +1,23 @@
+"""Synthetic workload and data generators (marketplace, Big Data Benchmark, logs)."""
+
+from repro.workloads.bigdata import BigDataConfig, BigDataData, generate_bigdata
+from repro.workloads.marketplace import (
+    MarketplaceConfig,
+    MarketplaceData,
+    generate_marketplace,
+    key_lookup_workload,
+)
+from repro.workloads.weblog import generate_log_lines, parse_log_line, parse_log_lines
+
+__all__ = [
+    "MarketplaceConfig",
+    "MarketplaceData",
+    "generate_marketplace",
+    "key_lookup_workload",
+    "BigDataConfig",
+    "BigDataData",
+    "generate_bigdata",
+    "generate_log_lines",
+    "parse_log_line",
+    "parse_log_lines",
+]

@@ -1,0 +1,91 @@
+"""AMPLab Big Data Benchmark-style data and queries (laptop scale).
+
+The paper's demo uses datasets "obtained through the Big Data Benchmark".
+The benchmark's core schema has two tables:
+
+* ``rankings(pageURL, pageRank, avgDuration)``
+* ``uservisits(sourceIP, destURL, visitDate, adRevenue, userAgent,
+  countryCode, languageCode, searchWord, duration)``
+
+and three reference queries: a selective scan on rankings, an aggregation on
+uservisits and a join of the two.  The generator below produces both tables
+deterministically; the query texts are provided in the SQL dialect understood
+by :mod:`repro.languages.sql`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["BigDataConfig", "BigDataData", "generate_bigdata", "QUERY_1", "QUERY_2", "QUERY_3"]
+
+
+@dataclass(frozen=True, slots=True)
+class BigDataConfig:
+    """Sizes and seed of the generated benchmark data."""
+
+    pages: int = 1000
+    visits: int = 5000
+    seed: int = 23
+
+
+@dataclass(slots=True)
+class BigDataData:
+    """The generated Rankings and UserVisits tables."""
+
+    rankings: list[dict[str, object]] = field(default_factory=list)
+    uservisits: list[dict[str, object]] = field(default_factory=list)
+
+
+def generate_bigdata(config: BigDataConfig | None = None) -> BigDataData:
+    """Generate Rankings and UserVisits deterministically from the config seed."""
+    config = config or BigDataConfig()
+    rng = random.Random(config.seed)
+    data = BigDataData()
+
+    urls = [f"url{page}" for page in range(config.pages)]
+    for url in urls:
+        data.rankings.append(
+            {
+                "pageURL": url,
+                "pageRank": rng.randint(1, 1000),
+                "avgDuration": rng.randint(1, 300),
+            }
+        )
+
+    countries = ("FR", "DE", "US", "JP", "BR", "IN")
+    words = ("estocada", "polystore", "rewrite", "chase", "view", "hybrid")
+    for _ in range(config.visits):
+        data.uservisits.append(
+            {
+                "sourceIP": f"10.0.{rng.randint(0, 31)}.{rng.randint(1, 254)}",
+                "destURL": rng.choice(urls),
+                "visitDate": f"2015-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}",
+                "adRevenue": round(rng.uniform(0.1, 10.0), 3),
+                "userAgent": rng.choice(("firefox", "chrome", "safari")),
+                "countryCode": rng.choice(countries),
+                "languageCode": "en",
+                "searchWord": rng.choice(words),
+                "duration": rng.randint(1, 60),
+            }
+        )
+    return data
+
+
+#: Query 1 (scan): pages above a page-rank threshold.
+QUERY_1 = "SELECT pageURL, pageRank FROM rankings WHERE pageRank > 500"
+
+#: Query 2 (aggregation): ad revenue per source IP.
+QUERY_2 = (
+    "SELECT sourceIP, SUM(adRevenue) AS totalRevenue "
+    "FROM uservisits GROUP BY sourceIP"
+)
+
+#: Query 3 (join): revenue and rank of the pages visited from one country.
+QUERY_3 = (
+    "SELECT uv.destURL, r.pageRank, SUM(uv.adRevenue) AS totalRevenue "
+    "FROM rankings r, uservisits uv "
+    "WHERE r.pageURL = uv.destURL AND uv.countryCode = 'FR' "
+    "GROUP BY uv.destURL, r.pageRank"
+)

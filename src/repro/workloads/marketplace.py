@@ -1,0 +1,173 @@
+"""Synthetic data for the Section-II marketplace scenario.
+
+The generator produces, deterministically from a seed, the five datasets of
+the motivating scenario:
+
+* a **product catalog** (JSON documents with title/description text, suited
+  to the full-text store),
+* **users** (coordinates, payment information) and **orders** (relational),
+* **shopping carts** (documents),
+* **web logs** of the users' browsing (flat records derived from HTTP logs,
+  suited to the parallel store).
+
+Sizes are laptop-scale but keep the paper's proportions: many more log lines
+than orders, many more orders than users.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["MarketplaceConfig", "MarketplaceData", "generate_marketplace"]
+
+_CATEGORIES = (
+    "shoes", "electronics", "books", "kitchen", "garden", "toys", "sports", "beauty",
+)
+_ADJECTIVES = ("red", "blue", "compact", "wireless", "classic", "premium", "eco", "smart")
+_NOUNS = ("sneaker", "headphone", "novel", "blender", "tent", "puzzle", "racket", "cream")
+_CITIES = ("paris", "lyon", "nantes", "lille", "bordeaux", "toulouse", "nice", "rennes")
+
+
+@dataclass(frozen=True, slots=True)
+class MarketplaceConfig:
+    """Sizes and seed of the generated marketplace."""
+
+    users: int = 200
+    products: int = 300
+    orders: int = 800
+    carts: int = 150
+    log_lines: int = 3000
+    seed: int = 7
+
+
+@dataclass(slots=True)
+class MarketplaceData:
+    """The generated datasets, each as a list of flat or nested records."""
+
+    users: list[dict[str, object]] = field(default_factory=list)
+    products: list[dict[str, object]] = field(default_factory=list)
+    orders: list[dict[str, object]] = field(default_factory=list)
+    carts: list[dict[str, object]] = field(default_factory=list)
+    weblog: list[dict[str, object]] = field(default_factory=list)
+
+    def purchases(self) -> list[dict[str, object]]:
+        """Flattened (user, product, category) purchase records from the orders."""
+        flattened: list[dict[str, object]] = []
+        for order in self.orders:
+            for item in order["items"]:
+                flattened.append(
+                    {
+                        "uid": order["uid"],
+                        "sku": item["sku"],
+                        "category": item["category"],
+                        "quantity": item["quantity"],
+                        "price": item["price"],
+                    }
+                )
+        return flattened
+
+
+def generate_marketplace(config: MarketplaceConfig | None = None) -> MarketplaceData:
+    """Generate the marketplace datasets deterministically from the config seed."""
+    config = config or MarketplaceConfig()
+    rng = random.Random(config.seed)
+    data = MarketplaceData()
+
+    for uid in range(config.users):
+        data.users.append(
+            {
+                "uid": uid,
+                "name": f"user{uid}",
+                "city": rng.choice(_CITIES),
+                "payment": rng.choice(("card", "paypal", "transfer")),
+                "preferred_category": rng.choice(_CATEGORIES),
+            }
+        )
+
+    for sku in range(config.products):
+        adjective = rng.choice(_ADJECTIVES)
+        noun = rng.choice(_NOUNS)
+        category = rng.choice(_CATEGORIES)
+        data.products.append(
+            {
+                "sku": sku,
+                "title": f"{adjective} {noun}",
+                "description": f"a {adjective} {noun} for your {category} needs",
+                "category": category,
+                "price": round(rng.uniform(5, 500), 2),
+            }
+        )
+
+    for order_id in range(config.orders):
+        uid = rng.randrange(config.users)
+        item_count = rng.randint(1, 4)
+        items = []
+        for _ in range(item_count):
+            product = data.products[rng.randrange(config.products)]
+            items.append(
+                {
+                    "sku": product["sku"],
+                    "category": product["category"],
+                    "quantity": rng.randint(1, 3),
+                    "price": product["price"],
+                }
+            )
+        data.orders.append(
+            {
+                "order_id": order_id,
+                "uid": uid,
+                "status": rng.choice(("shipped", "pending", "delivered")),
+                "total": round(sum(i["price"] * i["quantity"] for i in items), 2),
+                "items": items,
+            }
+        )
+
+    for cart_id in range(config.carts):
+        uid = rng.randrange(config.users)
+        product = data.products[rng.randrange(config.products)]
+        data.carts.append(
+            {
+                "_id": cart_id,
+                "uid": uid,
+                "items": [
+                    {"sku": product["sku"], "quantity": rng.randint(1, 2)}
+                ],
+                "updated_at": f"2016-0{rng.randint(1, 5)}-{rng.randint(10, 28)}",
+            }
+        )
+
+    for line in range(config.log_lines):
+        uid = rng.randrange(config.users)
+        product = data.products[rng.randrange(config.products)]
+        data.weblog.append(
+            {
+                "line": line,
+                "uid": uid,
+                "url": f"/product/{product['sku']}",
+                "sku": product["sku"],
+                "category": product["category"],
+                "duration_ms": rng.randint(100, 5000),
+            }
+        )
+    return data
+
+
+def key_lookup_workload(
+    data: MarketplaceData, lookups: int = 200, seed: int = 11
+) -> list[tuple[str, object]]:
+    """The predominant workload of the scenario: key-based searches.
+
+    Returns a list of (kind, key) pairs, where kind is ``"prefs"`` (user
+    preference lookup) or ``"cart"`` (shopping-cart lookup).
+    """
+    rng = random.Random(seed)
+    workload: list[tuple[str, object]] = []
+    for _ in range(lookups):
+        if rng.random() < 0.5:
+            workload.append(("prefs", rng.randrange(len(data.users))))
+        else:
+            cart = data.carts[rng.randrange(len(data.carts))]
+            workload.append(("cart", cart["_id"]))
+    return workload

@@ -1,0 +1,75 @@
+"""HTTP access-log generation and parsing.
+
+The marketplace scenario stores raw web logs in a cluster and processes them
+with Spark.  This module produces Apache combined-log-format lines from the
+marketplace's browsing records and parses such lines back into flat records,
+so benchmarks can exercise the full pipeline (raw text → parsed records →
+parallel store).
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_log_line", "generate_log_lines", "parse_log_line", "parse_log_lines"]
+
+_LOG_PATTERN = re.compile(
+    r"(?P<ip>\S+) - (?P<user>\S+) \[(?P<timestamp>[^\]]+)\] "
+    r'"GET (?P<url>\S+) HTTP/1\.1" (?P<status>\d{3}) (?P<bytes>\d+) '
+    r'"(?P<referrer>[^"]*)" "(?P<agent>[^"]*)"'
+)
+
+
+def format_log_line(record: Mapping[str, object], seed: int = 0) -> str:
+    """Format one browsing record as an Apache combined log line."""
+    line_number = int(record.get("line", 0) or 0)
+    rng = random.Random(line_number * 1_000_003 + seed)
+    ip = f"192.168.{rng.randint(0, 31)}.{rng.randint(1, 254)}"
+    timestamp = f"0{rng.randint(1, 9)}/May/2016:12:{rng.randint(10, 59)}:{rng.randint(10, 59)} +0200"
+    agent = rng.choice(("Mozilla/5.0", "curl/7.47", "ESTOCADA-bot/1.0"))
+    return (
+        f"{ip} - user{record.get('uid', 0)} [{timestamp}] "
+        f"\"GET {record.get('url', '/')} HTTP/1.1\" 200 {rng.randint(200, 9000)} "
+        f"\"-\" \"{agent}\""
+    )
+
+
+def generate_log_lines(records: Sequence[Mapping[str, object]], seed: int = 0) -> list[str]:
+    """Format a batch of browsing records as raw log lines."""
+    return [format_log_line(record, seed=seed) for record in records]
+
+
+def parse_log_line(line: str) -> dict[str, object] | None:
+    """Parse one combined-format log line into a flat record (None when malformed)."""
+    match = _LOG_PATTERN.match(line)
+    if match is None:
+        return None
+    url = match.group("url")
+    sku: int | None = None
+    if url.startswith("/product/"):
+        tail = url.rsplit("/", 1)[-1]
+        if tail.isdigit():
+            sku = int(tail)
+    user = match.group("user")
+    uid = int(user[4:]) if user.startswith("user") and user[4:].isdigit() else None
+    return {
+        "ip": match.group("ip"),
+        "uid": uid,
+        "url": url,
+        "sku": sku,
+        "status": int(match.group("status")),
+        "bytes": int(match.group("bytes")),
+        "agent": match.group("agent"),
+    }
+
+
+def parse_log_lines(lines: Iterable[str]) -> list[dict[str, object]]:
+    """Parse a batch of log lines, silently dropping malformed ones."""
+    parsed: list[dict[str, object]] = []
+    for line in lines:
+        record = parse_log_line(line)
+        if record is not None:
+            parsed.append(record)
+    return parsed

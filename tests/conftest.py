@@ -1,0 +1,132 @@
+"""Shared fixtures: a fully-wired ESTOCADA instance over the marketplace scenario."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Estocada
+from repro.catalog import AccessMethod, StorageDescriptor, StorageLayout
+from repro.core import Atom, ConjunctiveQuery, ViewDefinition
+from repro.datamodel import TableSchema
+from repro.stores import DocumentStore, FullTextStore, KeyValueStore, ParallelStore, RelationalStore
+from repro.workloads import MarketplaceConfig, generate_marketplace
+
+
+@pytest.fixture(scope="session")
+def marketplace_data():
+    """Small deterministic marketplace dataset shared by the test session."""
+    return generate_marketplace(MarketplaceConfig(users=60, products=80, orders=200, carts=40, log_lines=600, seed=3))
+
+
+def build_marketplace_estocada(data, algorithm: str = "pacb") -> Estocada:
+    """Wire the full multi-store marketplace deployment used by tests and benchmarks."""
+    est = Estocada(algorithm=algorithm)
+    est.register_store("pg", RelationalStore("pg"))
+    est.register_store("redis", KeyValueStore("redis"))
+    est.register_store("mongo", DocumentStore("mongo"))
+    est.register_store("solr", FullTextStore("solr"))
+    est.register_store("spark", ParallelStore("spark"))
+
+    est.register_relational_dataset(
+        "shop",
+        [
+            TableSchema("users", ("uid", "name", "city", "payment", "preferred_category"), primary_key=("uid",)),
+            TableSchema("purchases", ("uid", "sku", "category", "quantity", "price")),
+            TableSchema("visits", ("uid", "sku", "category", "duration_ms")),
+            TableSchema("carts", ("cart_id", "uid", "sku", "quantity")),
+            TableSchema("products", ("sku", "title", "description", "category", "price"), primary_key=("sku",)),
+        ],
+    )
+
+    def view(name, head, body, columns):
+        return ViewDefinition(
+            name, ConjunctiveQuery(name, head, body), column_names=columns
+        )
+
+    # Users as-such in Postgres.
+    est.register_fragment(
+        StorageDescriptor(
+            "F_users", "shop", "pg",
+            view("F_users", ["?u", "?n", "?c", "?p", "?pc"], [Atom("users", ["?u", "?n", "?c", "?p", "?pc"])],
+                 ("uid", "name", "city", "payment", "preferred_category")),
+            StorageLayout("users"), AccessMethod("scan"),
+        ),
+        rows=[
+            {"uid": u["uid"], "name": u["name"], "city": u["city"], "payment": u["payment"],
+             "preferred_category": u["preferred_category"]}
+            for u in data.users
+        ],
+        indexes=("uid",),
+    )
+    # User preferences in Redis, keyed by uid.
+    est.register_fragment(
+        StorageDescriptor(
+            "F_prefs", "shop", "redis",
+            view("F_prefs", ["?u", "?pc"], [Atom("users", ["?u", "?n", "?c", "?p", "?pc"])],
+                 ("uid", "preferred_category")),
+            StorageLayout("prefs"), AccessMethod("lookup", key_columns=("uid",)),
+        ),
+        rows=[{"uid": u["uid"], "preferred_category": u["preferred_category"]} for u in data.users],
+    )
+    # Purchases in Postgres.
+    est.register_fragment(
+        StorageDescriptor(
+            "F_purchases", "shop", "pg",
+            view("F_purchases", ["?u", "?s", "?c", "?q", "?pr"],
+                 [Atom("purchases", ["?u", "?s", "?c", "?q", "?pr"])],
+                 ("uid", "sku", "category", "quantity", "price")),
+            StorageLayout("purchases"), AccessMethod("scan"),
+        ),
+        rows=data.purchases(),
+        indexes=("uid", "sku"),
+    )
+    # Browsing history in Spark (parallel store), partitioned by uid.
+    est.register_fragment(
+        StorageDescriptor(
+            "F_visits", "shop", "spark",
+            view("F_visits", ["?u", "?s", "?c", "?d"], [Atom("visits", ["?u", "?s", "?c", "?d"])],
+                 ("uid", "sku", "category", "duration_ms")),
+            StorageLayout("visits"), AccessMethod("scan"),
+        ),
+        rows=[
+            {"uid": v["uid"], "sku": v["sku"], "category": v["category"], "duration_ms": v["duration_ms"]}
+            for v in data.weblog
+        ],
+        indexes=("uid",),
+    )
+    # Shopping carts (flattened) in MongoDB.
+    cart_rows = []
+    for cart in data.carts:
+        for item in cart["items"]:
+            cart_rows.append(
+                {"cart_id": cart["_id"], "uid": cart["uid"], "sku": item["sku"], "quantity": item["quantity"]}
+            )
+    est.register_fragment(
+        StorageDescriptor(
+            "F_carts", "shop", "mongo",
+            view("F_carts", ["?cid", "?u", "?s", "?q"], [Atom("carts", ["?cid", "?u", "?s", "?q"])],
+                 ("cart_id", "uid", "sku", "quantity")),
+            StorageLayout("carts"), AccessMethod("scan"),
+        ),
+        rows=cart_rows,
+        indexes=("cart_id", "uid"),
+    )
+    # Product catalog in SOLR.
+    est.register_fragment(
+        StorageDescriptor(
+            "F_catalog", "shop", "solr",
+            view("F_catalog", ["?s", "?t", "?d", "?c", "?p"],
+                 [Atom("products", ["?s", "?t", "?d", "?c", "?p"])],
+                 ("sku", "title", "description", "category", "price")),
+            StorageLayout("catalog"), AccessMethod("scan"),
+        ),
+        rows=data.products,
+        indexes=("title", "description"),
+    )
+    return est
+
+
+@pytest.fixture
+def marketplace_estocada(marketplace_data):
+    """A fresh, fully-wired ESTOCADA deployment for each test."""
+    return build_marketplace_estocada(marketplace_data)

@@ -1,0 +1,294 @@
+"""Tests for view-based rewriting: PACB, classical backchase, feasibility filtering."""
+
+import pytest
+
+from repro.core import (
+    AccessPattern,
+    AccessPatternRegistry,
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    ProvenanceFormula,
+    Rewriter,
+    Variable,
+    ViewDefinition,
+    classical_backchase,
+    feasible_order,
+    is_equivalent,
+    is_feasible,
+    key_constraint,
+    pacb_rewrite,
+    views_constraint_set,
+)
+from repro.errors import InfeasibleRewritingError, PivotModelError, RewritingError
+
+
+def _query_rs():
+    return ConjunctiveQuery(
+        "Q", ["?x", "?z"], [Atom("R", ["?x", "?y"]), Atom("S", ["?y", "?z"])]
+    )
+
+
+def _views_rs():
+    v_r = ViewDefinition("V_R", ConjunctiveQuery("V_R", ["?a", "?b"], [Atom("R", ["?a", "?b"])]))
+    v_s = ViewDefinition("V_S", ConjunctiveQuery("V_S", ["?b", "?c"], [Atom("S", ["?b", "?c"])]))
+    v_join = ViewDefinition(
+        "V_RS",
+        ConjunctiveQuery("V_RS", ["?a", "?c"], [Atom("R", ["?a", "?b"]), Atom("S", ["?b", "?c"])]),
+    )
+    return v_r, v_s, v_join
+
+
+class TestProvenanceFormula:
+    def test_variable_and_true_false(self):
+        assert ProvenanceFormula.variable(3).variables() == {3}
+        assert ProvenanceFormula.true().is_true()
+        assert ProvenanceFormula.false().is_false()
+
+    def test_conjunction_distributes(self):
+        a = ProvenanceFormula.variable(1)
+        b = ProvenanceFormula.variable(2)
+        assert a.conjunction(b).minimal_monomials() == {frozenset({1, 2})}
+
+    def test_disjunction_absorbs_supersets(self):
+        small = ProvenanceFormula([{1}])
+        large = ProvenanceFormula([{1, 2}])
+        assert small.disjunction(large).minimal_monomials() == {frozenset({1})}
+
+    def test_conjunction_with_false_is_false(self):
+        assert ProvenanceFormula.variable(1).conjunction(ProvenanceFormula.false()).is_false()
+
+    def test_conjunction_with_true_is_identity(self):
+        formula = ProvenanceFormula([{1, 2}])
+        assert formula.conjunction(ProvenanceFormula.true()) == formula
+
+
+class TestViewDefinition:
+    def test_forward_and_backward_constraints(self):
+        view = ViewDefinition("V", ConjunctiveQuery("V", ["?a"], [Atom("R", ["?a", "?b"])]))
+        forward = view.forward_constraint()
+        backward = view.backward_constraint()
+        assert forward.head[0].relation == "V"
+        assert backward.body[0].relation == "V"
+        assert forward.is_full()
+        assert backward.existential_variables() == {Variable("b")}
+
+    def test_access_pattern_arity_checked(self):
+        with pytest.raises(PivotModelError):
+            ViewDefinition(
+                "V",
+                ConjunctiveQuery("V", ["?a"], [Atom("R", ["?a", "?b"])]),
+                access_pattern=AccessPattern("V", "io"),
+            )
+
+    def test_column_names_arity_checked(self):
+        with pytest.raises(PivotModelError):
+            ViewDefinition(
+                "V",
+                ConjunctiveQuery("V", ["?a"], [Atom("R", ["?a", "?b"])]),
+                column_names=("a", "b"),
+            )
+
+    def test_views_constraint_set_directions(self):
+        view = ViewDefinition("V", ConjunctiveQuery("V", ["?a"], [Atom("R", ["?a"])]))
+        assert len(views_constraint_set([view], "forward")) == 1
+        assert len(views_constraint_set([view], "backward")) == 1
+        assert len(views_constraint_set([view], "both")) == 2
+
+
+class TestPACB:
+    def test_finds_both_rewritings(self):
+        query = _query_rs()
+        views = _views_rs()
+        result = pacb_rewrite(query, list(views))
+        bodies = {frozenset(a.relation for a in r.body) for r in result.rewritings}
+        assert frozenset({"V_RS"}) in bodies
+        assert frozenset({"V_R", "V_S"}) in bodies
+
+    def test_no_views_matching_query(self):
+        query = _query_rs()
+        unrelated = ViewDefinition("V_T", ConjunctiveQuery("V_T", ["?a"], [Atom("T", ["?a"])]))
+        result = pacb_rewrite(query, [unrelated])
+        assert result.rewritings == []
+
+    def test_rewriting_head_matches_query_head(self):
+        query = _query_rs()
+        result = pacb_rewrite(query, list(_views_rs()))
+        for rewriting in result.rewritings:
+            assert len(rewriting.head_terms) == len(query.head_terms)
+            assert rewriting.head_relation == query.head_relation
+
+    def test_view_not_exposing_head_is_rejected(self):
+        # The view projects away the head variable: no rewriting possible.
+        query = ConjunctiveQuery("Q", ["?x"], [Atom("R", ["?x", "?y"])])
+        hiding = ViewDefinition("V_H", ConjunctiveQuery("V_H", ["?b"], [Atom("R", ["?a", "?b"])]))
+        result = pacb_rewrite(query, [hiding])
+        assert result.rewritings == []
+
+    def test_constants_in_query_survive(self):
+        query = ConjunctiveQuery("Q", ["?y"], [Atom("R", [Constant(7), "?y"])])
+        view = ViewDefinition("V_R", ConjunctiveQuery("V_R", ["?a", "?b"], [Atom("R", ["?a", "?b"])]))
+        result = pacb_rewrite(query, [view])
+        assert result.rewritings
+        atom = result.rewritings[0].body[0]
+        assert Constant(7) in atom.terms
+
+    def test_key_constraint_enables_lossless_join_rewriting(self):
+        # Vertical partitioning: V1(uid,name), V2(uid,city); uid is a key, so
+        # joining the two fragments reconstructs Users exactly.
+        key = key_constraint("Users", 3, [0])
+        query = ConjunctiveQuery("Q", ["?u", "?n", "?c"], [Atom("Users", ["?u", "?n", "?c"])])
+        v1 = ViewDefinition("V1", ConjunctiveQuery("V1", ["?u", "?n"], [Atom("Users", ["?u", "?n", "?c"])]))
+        v2 = ViewDefinition("V2", ConjunctiveQuery("V2", ["?u", "?c"], [Atom("Users", ["?u", "?n", "?c"])]))
+        result = pacb_rewrite(query, [v1, v2], schema_constraints=[key])
+        bodies = {frozenset(a.relation for a in r.body) for r in result.rewritings}
+        assert frozenset({"V1", "V2"}) in bodies
+
+    def test_without_key_vertical_partitioning_is_lossy(self):
+        query = ConjunctiveQuery("Q", ["?u", "?n", "?c"], [Atom("Users", ["?u", "?n", "?c"])])
+        v1 = ViewDefinition("V1", ConjunctiveQuery("V1", ["?u", "?n"], [Atom("Users", ["?u", "?n", "?c"])]))
+        v2 = ViewDefinition("V2", ConjunctiveQuery("V2", ["?u", "?c"], [Atom("Users", ["?u", "?n", "?c"])]))
+        result = pacb_rewrite(query, [v1, v2])
+        assert result.rewritings == []
+
+    def test_statistics_populated(self):
+        result = pacb_rewrite(_query_rs(), list(_views_rs()))
+        assert result.statistics.view_atoms_in_plan >= 3
+        assert result.statistics.rewritings_found == len(result.rewritings)
+
+    def test_max_rewritings_cap(self):
+        result = pacb_rewrite(_query_rs(), list(_views_rs()), max_rewritings=1)
+        assert len(result.rewritings) == 1
+
+    def test_requires_at_least_one_view(self):
+        with pytest.raises(RewritingError):
+            pacb_rewrite(_query_rs(), [])
+
+
+class TestClassicalBackchase:
+    def test_agrees_with_pacb(self):
+        query = _query_rs()
+        views = list(_views_rs())
+        pacb_result = pacb_rewrite(query, views)
+        classical_result, _ = classical_backchase(query, views)
+        pacb_bodies = {frozenset(a.relation for a in r.body) for r in pacb_result.rewritings}
+        classical_bodies = {frozenset(a.relation for a in r.body) for r in classical_result}
+        assert pacb_bodies == classical_bodies
+
+    def test_statistics_count_candidates(self):
+        _, statistics = classical_backchase(_query_rs(), list(_views_rs()))
+        assert statistics.candidates_considered >= statistics.rewritings_found
+        assert statistics.equivalence_checks > 0
+
+    def test_supersets_of_found_rewritings_skipped(self):
+        rewritings, statistics = classical_backchase(_query_rs(), list(_views_rs()))
+        # With 3 view atoms there are 7 non-empty subsets; minimality pruning
+        # must examine strictly fewer than all of them after finding the
+        # singleton rewriting.
+        assert statistics.candidates_considered < 7
+
+
+class TestFeasibility:
+    def test_feasible_order_respects_binding_patterns(self):
+        registry = AccessPatternRegistry([AccessPattern("KV", "io")])
+        atoms = [Atom("KV", ["?k", "?v"]), Atom("Rel", ["?k"])]
+        order = feasible_order(atoms, registry)
+        assert order is not None
+        assert order[0].relation == "Rel"
+
+    def test_infeasible_when_key_never_bound(self):
+        registry = AccessPatternRegistry([AccessPattern("KV", "io")])
+        atoms = [Atom("KV", ["?k", "?v"])]
+        assert feasible_order(atoms, registry) is None
+
+    def test_constant_key_is_feasible(self):
+        registry = AccessPatternRegistry([AccessPattern("KV", "io")])
+        query = ConjunctiveQuery("Q", ["?v"], [Atom("KV", [Constant(1), "?v"])])
+        assert is_feasible(query, registry)
+
+    def test_bound_parameter_makes_query_feasible(self):
+        registry = AccessPatternRegistry([AccessPattern("KV", "io")])
+        query = ConjunctiveQuery("Q", ["?k", "?v"], [Atom("KV", ["?k", "?v"])])
+        assert not is_feasible(query, registry)
+        assert is_feasible(query, registry, bound_head_variables=[Variable("k")])
+
+    def test_chain_of_restricted_sources(self):
+        registry = AccessPatternRegistry(
+            [AccessPattern("A", "io"), AccessPattern("B", "io")]
+        )
+        atoms = [Atom("B", ["?y", "?z"]), Atom("A", ["?x", "?y"]), Atom("Free", ["?x"])]
+        order = feasible_order(atoms, registry)
+        assert [a.relation for a in order] == ["Free", "A", "B"]
+
+
+class TestRewriter:
+    def test_rewriter_filters_infeasible(self):
+        query = ConjunctiveQuery("Q", ["?u", "?p"], [Atom("Users", ["?u", "?p"])])
+        kv_view = ViewDefinition(
+            "V_KV",
+            ConjunctiveQuery("V_KV", ["?u", "?p"], [Atom("Users", ["?u", "?p"])]),
+            access_pattern=AccessPattern("V_KV", "io"),
+        )
+        rewriter = Rewriter([kv_view])
+        outcome = rewriter.rewrite(query)
+        assert outcome.rewritings
+        assert outcome.feasible_rewritings == []
+        assert outcome.dropped_infeasible == 1
+
+    def test_rewriter_accepts_bound_parameters(self):
+        query = ConjunctiveQuery("Q", ["?u", "?p"], [Atom("Users", ["?u", "?p"])])
+        kv_view = ViewDefinition(
+            "V_KV",
+            ConjunctiveQuery("V_KV", ["?u", "?p"], [Atom("Users", ["?u", "?p"])]),
+            access_pattern=AccessPattern("V_KV", "io"),
+        )
+        rewriter = Rewriter([kv_view])
+        outcome = rewriter.rewrite(query, bound_parameters=[Variable("u")])
+        assert outcome.feasible_rewritings
+
+    def test_require_feasible_raises(self):
+        query = ConjunctiveQuery("Q", ["?u", "?p"], [Atom("Users", ["?u", "?p"])])
+        kv_view = ViewDefinition(
+            "V_KV",
+            ConjunctiveQuery("V_KV", ["?u", "?p"], [Atom("Users", ["?u", "?p"])]),
+            access_pattern=AccessPattern("V_KV", "io"),
+        )
+        rewriter = Rewriter([kv_view])
+        with pytest.raises(InfeasibleRewritingError):
+            rewriter.rewrite(query, require_feasible=True)
+
+    def test_both_algorithms_produce_equivalent_rewritings(self):
+        query = _query_rs()
+        views = list(_views_rs())
+        for algorithm in ("pacb", "classical"):
+            rewriter = Rewriter(views, algorithm=algorithm)
+            outcome = rewriter.rewrite(query)
+            assert outcome.algorithm == algorithm
+            assert len(outcome.rewritings) == 2
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(RewritingError):
+            Rewriter(list(_views_rs()), algorithm="magic")
+
+    def test_rewritings_are_minimized(self):
+        query = _query_rs()
+        views = list(_views_rs())
+        outcome = Rewriter(views).rewrite(query)
+        for rewriting in outcome.rewritings:
+            # No rewriting mixes the join view with the single-relation views.
+            relations = [a.relation for a in rewriting.body]
+            if "V_RS" in relations:
+                assert relations == ["V_RS"]
+
+    def test_best_raises_when_infeasible(self):
+        query = ConjunctiveQuery("Q", ["?u", "?p"], [Atom("Users", ["?u", "?p"])])
+        kv_view = ViewDefinition(
+            "V_KV",
+            ConjunctiveQuery("V_KV", ["?u", "?p"], [Atom("Users", ["?u", "?p"])]),
+            access_pattern=AccessPattern("V_KV", "io"),
+        )
+        outcome = Rewriter([kv_view]).rewrite(query)
+        from repro.errors import NoRewritingFoundError
+
+        with pytest.raises(NoRewritingFoundError):
+            outcome.best()

@@ -1,0 +1,207 @@
+"""Tests for pivot-model terms, atoms, substitutions and conjunctive queries."""
+
+import pytest
+
+from repro.core import Atom, ConjunctiveQuery, Constant, Substitution, UnionQuery, Variable, fresh_variable
+from repro.core.query import freeze_atoms, is_labelled_null
+from repro.errors import PivotModelError
+
+
+class TestTerms:
+    def test_variable_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_constant_equality_by_value(self):
+        assert Constant(1) == Constant(1)
+        assert Constant(1) != Constant("1")
+
+    def test_fresh_variables_are_distinct(self):
+        assert fresh_variable() != fresh_variable()
+
+    def test_fresh_variable_prefix(self):
+        assert fresh_variable("abc").name.startswith("_abc")
+
+
+class TestAtom:
+    def test_string_coercion_to_variables_and_constants(self):
+        atom = Atom("R", ["?x", 5, "text"])
+        assert atom.terms[0] == Variable("x")
+        assert atom.terms[1] == Constant(5)
+        assert atom.terms[2] == Constant("text")
+
+    def test_empty_relation_name_rejected(self):
+        with pytest.raises(PivotModelError):
+            Atom("", ["?x"])
+
+    def test_arity_and_len(self):
+        atom = Atom("R", ["?x", "?y"])
+        assert atom.arity == 2
+        assert len(atom) == 2
+
+    def test_variable_set_deduplicates(self):
+        atom = Atom("R", ["?x", "?x", "?y"])
+        assert atom.variable_set() == {Variable("x"), Variable("y")}
+        assert len(atom.variables()) == 3
+
+    def test_is_ground(self):
+        assert Atom("R", [1, 2]).is_ground()
+        assert not Atom("R", [1, "?x"]).is_ground()
+
+    def test_apply_substitution(self):
+        atom = Atom("R", ["?x", "?y"])
+        substitution = Substitution({Variable("x"): Constant(1)})
+        assert atom.apply(substitution) == Atom("R", [1, "?y"])
+
+    def test_rename(self):
+        atom = Atom("R", ["?x", "?y"])
+        renamed = atom.rename({Variable("x"): Variable("z")})
+        assert renamed == Atom("R", ["?z", "?y"])
+
+    def test_atoms_hashable_and_equal(self):
+        assert {Atom("R", ["?x"]), Atom("R", ["?x"])} == {Atom("R", ["?x"])}
+
+    def test_immutable(self):
+        atom = Atom("R", ["?x"])
+        with pytest.raises(AttributeError):
+            atom.relation = "S"
+
+    def test_check_arity(self):
+        Atom("R", ["?x", "?y"]).check_arity(2)
+        with pytest.raises(PivotModelError):
+            Atom("R", ["?x"]).check_arity(2)
+
+
+class TestSubstitution:
+    def test_bind_returns_new_substitution(self):
+        original = Substitution.empty()
+        extended = original.bind(Variable("x"), Constant(1))
+        assert Variable("x") not in original
+        assert extended.get(Variable("x")) == Constant(1)
+
+    def test_bind_conflict_raises(self):
+        substitution = Substitution.empty().bind(Variable("x"), Constant(1))
+        with pytest.raises(PivotModelError):
+            substitution.bind(Variable("x"), Constant(2))
+
+    def test_rebind_same_value_is_allowed(self):
+        substitution = Substitution.empty().bind(Variable("x"), Constant(1))
+        assert substitution.bind(Variable("x"), Constant(1)).get(Variable("x")) == Constant(1)
+
+    def test_resolve_constant_passthrough(self):
+        assert Substitution.empty().resolve(Constant(3)) == Constant(3)
+
+    def test_merge_compatible(self):
+        left = Substitution({Variable("x"): Constant(1)})
+        right = Substitution({Variable("y"): Constant(2)})
+        merged = left.merge(right)
+        assert merged is not None
+        assert merged.get(Variable("y")) == Constant(2)
+
+    def test_merge_conflict_returns_none(self):
+        left = Substitution({Variable("x"): Constant(1)})
+        right = Substitution({Variable("x"): Constant(2)})
+        assert left.merge(right) is None
+
+    def test_compose(self):
+        first = Substitution({Variable("x"): Variable("y")})
+        second = Substitution({Variable("y"): Constant(5)})
+        composed = first.compose(second)
+        assert composed.resolve(Variable("x")) == Constant(5)
+
+
+class TestConjunctiveQuery:
+    def test_head_variable_must_occur_in_body(self):
+        with pytest.raises(PivotModelError):
+            ConjunctiveQuery("Q", ["?z"], [Atom("R", ["?x", "?y"])])
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(PivotModelError):
+            ConjunctiveQuery("Q", ["?x"], [])
+
+    def test_constant_head_terms_allowed(self):
+        query = ConjunctiveQuery("Q", [1, "?x"], [Atom("R", ["?x"])])
+        assert query.head_terms[0] == Constant(1)
+
+    def test_existential_variables(self):
+        query = ConjunctiveQuery("Q", ["?x"], [Atom("R", ["?x", "?y"])])
+        assert query.existential_variables() == {Variable("y")}
+
+    def test_relations_and_atoms_over(self):
+        query = ConjunctiveQuery(
+            "Q", ["?x"], [Atom("R", ["?x", "?y"]), Atom("S", ["?y"]), Atom("R", ["?x", "?z"])]
+        )
+        assert query.relations() == {"R", "S"}
+        assert len(query.atoms_over("R")) == 2
+
+    def test_rename_apart_preserves_structure(self):
+        query = ConjunctiveQuery("Q", ["?x"], [Atom("R", ["?x", "?y"]), Atom("S", ["?y"])])
+        renamed = query.rename_apart()
+        assert renamed.head_relation == "Q"
+        assert len(renamed.body) == 2
+        assert renamed.body_variables().isdisjoint(query.body_variables())
+
+    def test_apply_substitution(self):
+        query = ConjunctiveQuery("Q", ["?x"], [Atom("R", ["?x", "?y"])])
+        applied = query.apply(Substitution({Variable("y"): Constant(3)}))
+        assert applied.body[0] == Atom("R", ["?x", 3])
+
+    def test_extend_body(self):
+        query = ConjunctiveQuery("Q", ["?x"], [Atom("R", ["?x"])])
+        extended = query.extend_body([Atom("S", ["?x"])])
+        assert len(extended.body) == 2
+
+    def test_project(self):
+        query = ConjunctiveQuery("Q", ["?x", "?y"], [Atom("R", ["?x", "?y"])])
+        projected = query.project(["?y"])
+        assert projected.head_terms == (Variable("y"),)
+
+    def test_equality_ignores_body_order(self):
+        a = ConjunctiveQuery("Q", ["?x"], [Atom("R", ["?x"]), Atom("S", ["?x"])])
+        b = ConjunctiveQuery("Q", ["?x"], [Atom("S", ["?x"]), Atom("R", ["?x"])])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_constants_collected(self):
+        query = ConjunctiveQuery("Q", ["?x"], [Atom("R", ["?x", 7]), Atom("S", ["a", "?x"])])
+        assert query.constants() == {Constant(7), Constant("a")}
+
+
+class TestFreezing:
+    def test_freeze_replaces_variables_with_nulls(self):
+        atoms = [Atom("R", ["?x", "?y"]), Atom("S", ["?y", 3])]
+        frozen, mapping = freeze_atoms(atoms)
+        assert len(frozen) == 2
+        for fact in frozen:
+            assert fact.is_ground()
+        assert is_labelled_null(mapping.resolve(Variable("x")))
+
+    def test_shared_variables_get_same_null(self):
+        atoms = [Atom("R", ["?x", "?y"]), Atom("S", ["?y"])]
+        frozen, mapping = freeze_atoms(atoms)
+        y_null = mapping.resolve(Variable("y"))
+        matching = [f for f in frozen if y_null in f.terms]
+        assert len(matching) == 2
+
+    def test_plain_constants_are_not_nulls(self):
+        assert not is_labelled_null(Constant("hello"))
+        assert not is_labelled_null(Constant(3))
+
+
+class TestUnionQuery:
+    def test_union_requires_same_arity(self):
+        q1 = ConjunctiveQuery("Q", ["?x"], [Atom("R", ["?x"])])
+        q2 = ConjunctiveQuery("Q", ["?x", "?y"], [Atom("S", ["?x", "?y"])])
+        with pytest.raises(PivotModelError):
+            UnionQuery([q1, q2])
+
+    def test_union_iteration(self):
+        q1 = ConjunctiveQuery("Q", ["?x"], [Atom("R", ["?x"])])
+        q2 = ConjunctiveQuery("Q", ["?y"], [Atom("S", ["?y"])])
+        union = UnionQuery([q1, q2])
+        assert len(union) == 2
+        assert list(union) == [q1, q2]
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(PivotModelError):
+            UnionQuery([])
