@@ -1,0 +1,149 @@
+"""E9 — the streaming batched engine and the rewrite/plan cache.
+
+Two claims of the engine refactor are measured on the marketplace workload
+and written to ``BENCH_e9.json`` as a trajectory file:
+
+1. **Repeated-template queries**: with the plan cache warm, a repeated query
+   skips the whole PACB chase/backchase pipeline and the planner; the target
+   is a ≥ 2x end-to-end speedup over the cold path (cache cleared before
+   every run).
+2. **Streaming execution**: batches flow through the operators instead of
+   fully materialized row lists, so a LIMIT query abandons the pipeline
+   early — the per-store row counters show the saving — and the batch size
+   does not change results, only the number of batches.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.core import Atom, ConjunctiveQuery, Constant
+
+from conftest import (
+    add_materialized_user_product_fragment,
+    add_prefs_kv_fragment,
+    add_purchases_fragment,
+    add_users_fragment,
+    add_visits_fragment,
+    base_estocada,
+)
+
+RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_e9.json"
+ITERATIONS = 30
+
+
+def _build(data):
+    est = base_estocada()
+    add_users_fragment(est, data)
+    add_prefs_kv_fragment(est, data)
+    add_purchases_fragment(est, data)
+    add_visits_fragment(est, data)
+    add_materialized_user_product_fragment(est, data)
+    return est
+
+
+def _query(uid):
+    """The personalized purchases ⋈ visits template of the demo scenario."""
+    return ConjunctiveQuery(
+        "personalized", ["?s", "?d"],
+        [Atom("purchases", [Constant(uid), "?s", "?c", "?q", "?pr"]),
+         Atom("visits", [Constant(uid), "?s", "?c2", "?d"])],
+    )
+
+
+def _time_queries(est, query, iterations, cold):
+    """Per-iteration wall-clock of est.query(); cold clears the cache first."""
+    trajectory = []
+    for _ in range(iterations):
+        if cold:
+            est.clear_plan_cache()
+        started = time.perf_counter()
+        result = est.query(query)
+        trajectory.append(time.perf_counter() - started)
+    return trajectory, result
+
+
+def test_e9_report(market_data, capsys):
+    est = _build(market_data)
+    query = _query(12)
+
+    # Warm-up: materialize store caches/statistics on both paths equally.
+    est.query(query)
+
+    cold_trajectory, cold_result = _time_queries(est, query, ITERATIONS, cold=True)
+    warm_trajectory, warm_result = _time_queries(est, query, ITERATIONS, cold=False)
+    assert warm_result.cache_hit and not cold_result.cache_hit
+    assert warm_result.rows == cold_result.rows
+
+    cold_mean = statistics.mean(cold_trajectory)
+    warm_mean = statistics.mean(warm_trajectory)
+    speedup = cold_mean / warm_mean if warm_mean else float("inf")
+
+    # Streaming early-exit: a LIMIT query must touch fewer rows than the
+    # full query (the old materializing engine always computed everything).
+    est_limit = _build(market_data)
+    full = est_limit.query("SELECT uid, sku FROM purchases", dataset="shop")
+    full_returned = sum(b.rows_returned for b in full.store_breakdown.values())
+    limited = est_limit.query("SELECT uid, sku FROM purchases LIMIT 5", dataset="shop")
+    limited_returned = sum(b.rows_returned for b in limited.store_breakdown.values())
+
+    report = {
+        "benchmark": "e9_streaming_engine",
+        "iterations": ITERATIONS,
+        "cold": {
+            "mean_seconds": cold_mean,
+            "median_seconds": statistics.median(cold_trajectory),
+            "trajectory_seconds": cold_trajectory,
+        },
+        "warm": {
+            "mean_seconds": warm_mean,
+            "median_seconds": statistics.median(warm_trajectory),
+            "trajectory_seconds": warm_trajectory,
+        },
+        "speedup_warm_over_cold": speedup,
+        "cache_stats": dict(est.cache_stats()),
+        "result_rows": len(warm_result.rows),
+        "batches_per_query": warm_result.batches,
+        "limit_pushdown": {
+            "full_rows_returned_by_stores": full_returned,
+            "limit5_rows_returned_by_stores": limited_returned,
+        },
+    }
+    RESULT_FILE.write_text(json.dumps(report, indent=2) + "\n")
+
+    with capsys.disabled():
+        print("\n[E9] streaming batched engine + plan cache (marketplace workload)")
+        print(f"  cold (cache cleared):  {cold_mean * 1e3:8.3f} ms/query")
+        print(f"  warm (cache hit):      {warm_mean * 1e3:8.3f} ms/query")
+        print(f"  speedup:               {speedup:8.1f}x")
+        print(f"  LIMIT 5 store rows:    {limited_returned} vs full {full_returned}")
+        print(f"  trajectory written to  {RESULT_FILE.name}")
+
+    # Acceptance: repeated-template queries ≥ 2x via the plan cache.
+    assert speedup >= 2.0, f"plan cache speedup {speedup:.2f}x below 2x"
+    # Streaming early-exit touches no more rows than full evaluation.
+    assert limited_returned <= full_returned
+
+
+def test_e9_batch_size_invariance(market_data):
+    """Batch size must not change answers, only the batch count."""
+    from repro.cost import CostModel, PlanChooser
+    from repro.runtime import ExecutionEngine
+    from repro.translation import Planner
+
+    est = _build(market_data)
+    explanation = est.explain(_query(12))
+    root = explanation.chosen.plan.root
+    reference = None
+    batch_counts = {}
+    for batch_size in (1, 7, 1024):
+        result = ExecutionEngine(batch_size=batch_size).execute(root)
+        rows = sorted(tuple(sorted(r.items())) for r in result.rows)
+        batch_counts[batch_size] = result.batches
+        if reference is None:
+            reference = rows
+        assert rows == reference
+    assert batch_counts[1] >= batch_counts[1024]

@@ -46,6 +46,16 @@ class StorageDescriptorManager:
         self._stores: dict[str, Store] = {}
         self._datasets: dict[str, DatasetInfo] = {}
         self._fragments: dict[str, StorageDescriptor] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every catalog mutation.
+
+        Cached artifacts derived from the catalog (rewritings, plans) key on
+        this: any registration/drop makes previously computed keys stale.
+        """
+        return self._version
 
     # -- stores ---------------------------------------------------------------------
     def register_store(self, name: str, store: Store) -> None:
@@ -53,6 +63,7 @@ class StorageDescriptorManager:
         if name in self._stores:
             raise DuplicateRegistrationError(f"store {name!r} is already registered")
         self._stores[name] = store
+        self._version += 1
 
     def unregister_store(self, name: str) -> None:
         """Remove a store (its fragments must have been dropped first)."""
@@ -64,6 +75,7 @@ class StorageDescriptorManager:
                 f"store {name!r} still hosts fragments {still_used}; drop them first"
             )
         del self._stores[name]
+        self._version += 1
 
     def store(self, name: str) -> Store:
         """Look up a registered store."""
@@ -96,6 +108,7 @@ class StorageDescriptorManager:
             description=description,
         )
         self._datasets[name] = info
+        self._version += 1
         return info
 
     def dataset(self, name: str) -> DatasetInfo:
@@ -127,12 +140,14 @@ class StorageDescriptorManager:
                 f"{descriptor.store!r}"
             )
         self._fragments[descriptor.fragment_name] = descriptor
+        self._version += 1
 
     def drop_fragment(self, name: str) -> StorageDescriptor:
         """Remove a fragment descriptor and return it."""
         descriptor = self._fragments.pop(name, None)
         if descriptor is None:
             raise UnknownFragmentError(f"fragment {name!r} is not registered")
+        self._version += 1
         return descriptor
 
     def fragment(self, name: str) -> StorageDescriptor:

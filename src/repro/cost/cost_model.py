@@ -161,6 +161,40 @@ class CostModel:
             output = estimate.estimated_rows
         return scan_cost, output
 
+    # -- join algorithm choice ---------------------------------------------------------
+    def join_algorithm(
+        self,
+        access: AtomAccess,
+        left_rows: float,
+        probe_columns: Sequence[str] = (),
+    ) -> str:
+        """'bind' when probing ``access`` once per left row beats scanning it.
+
+        Used by the physical planning pass for groups that do not *require*
+        a bind join: compares the per-probe lookup cost (times the estimated
+        left cardinality) against a delegated scan plus the mediator-side
+        hash join of its result.
+        """
+        stats = self._statistics.get(access.descriptor.fragment_name)
+        profile = self.profile_for(access.store.capabilities().data_model)
+        estimate = self._estimator.atom_estimate(access)
+        left_rows = max(left_rows, 1.0)
+
+        probe_cost = left_rows * (profile.lookup_cost + profile.request_overhead * 0.1)
+        if not any(column in stats.indexed_columns for column in probe_columns):
+            # Unindexed probes degenerate to one filtered scan per left row.
+            probe_cost = left_rows * (
+                profile.request_overhead
+                + (stats.cardinality * profile.scan_row_cost)
+                / max(profile.parallelism, 1.0)
+            )
+        scan_cost = (
+            profile.request_overhead
+            + (stats.cardinality * profile.scan_row_cost) / max(profile.parallelism, 1.0)
+            + _RUNTIME_ROW_COST * (left_rows + estimate.estimated_rows)
+        )
+        return "bind" if probe_cost < scan_cost else "hash"
+
     # -- plan costs ------------------------------------------------------------------------
     def estimate_groups(
         self, rewriting_name: str, groups: Sequence[DelegationGroup]

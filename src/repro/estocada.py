@@ -17,6 +17,7 @@ Most applications only ever touch this class.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
@@ -35,12 +36,13 @@ from repro.datamodel.relational import RelationalSchema, TableSchema
 from repro.errors import NoRewritingFoundError, TranslationError
 from repro.languages.docql import DocumentQuery
 from repro.languages.sql.translator import SqlTranslator, TranslatedQuery
+from repro.runtime.batch import RowBatch
 from repro.runtime.engine import ExecutionEngine, QueryResult
 from repro.runtime.operators import Aggregate, Deduplicate, Filter, Operator
 from repro.stores.base import COMPARATORS, Store
 from repro.translation.planner import Planner
 
-__all__ = ["Explanation", "Estocada"]
+__all__ = ["Explanation", "PlanCache", "Estocada"]
 
 
 @dataclass(slots=True)
@@ -63,6 +65,61 @@ class Explanation:
         return self.chosen.plan.explain()
 
 
+class PlanCache:
+    """A small LRU cache of rewrite-and-plan results (:class:`Explanation`).
+
+    Keys are the normalized query shape (alpha-renamed variables, constants
+    included) plus the catalog version and rewriting algorithm, so a catalog
+    mutation makes every earlier entry unreachable; ``register_fragment`` /
+    ``drop_fragment`` additionally clear the cache eagerly to free memory.
+    A hit skips the whole PACB chase/backchase pipeline and the planner.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        self._capacity = max(0, capacity)
+        self._entries: OrderedDict[tuple, Explanation] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: tuple) -> Explanation | None:
+        """The cached explanation for ``key``, refreshing its recency."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, explanation: Explanation) -> None:
+        """Insert an entry, evicting the least recently used beyond capacity."""
+        if self._capacity == 0:
+            return
+        self._entries[key] = explanation
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Mapping[str, int]:
+        """JSON-friendly counters."""
+        return {
+            "entries": len(self._entries),
+            "capacity": self._capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
 class Estocada:
     """The hybrid-store mediator: register stores, datasets and fragments, then query."""
 
@@ -71,6 +128,7 @@ class Estocada:
         algorithm: str = "pacb",
         chase_config: ChaseConfig | None = None,
         cost_profiles: Mapping[str, StoreCostProfile] | None = None,
+        plan_cache_size: int = 128,
     ) -> None:
         self._manager = StorageDescriptorManager()
         self._statistics = StatisticsCatalog(self._manager)
@@ -80,6 +138,7 @@ class Estocada:
         self._chase_config = chase_config or ChaseConfig()
         self._relational_schemas: dict[str, RelationalSchema] = {}
         self._document_collections: dict[str, tuple[str, ...]] = {}
+        self._plan_cache = PlanCache(plan_cache_size)
 
     # -- registration ------------------------------------------------------------------
     @property
@@ -175,11 +234,50 @@ class Estocada:
             store = self._manager.store(descriptor.store)
             materialize_fragment(store, descriptor, rows, indexes=indexes, partitions=partitions)
         self._statistics.invalidate(descriptor.fragment_name)
+        self._plan_cache.clear()
 
     def drop_fragment(self, name: str) -> StorageDescriptor:
         """Unregister a fragment descriptor (data stays in the store)."""
         self._statistics.invalidate(name)
+        self._plan_cache.clear()
         return self._manager.drop_fragment(name)
+
+    # -- plan cache --------------------------------------------------------------------
+    def cache_stats(self) -> Mapping[str, int]:
+        """Hit/miss/eviction counters and occupancy of the rewrite/plan cache."""
+        return self._plan_cache.stats()
+
+    def clear_plan_cache(self) -> None:
+        """Drop every cached rewrite/plan entry (counters are preserved)."""
+        self._plan_cache.clear()
+
+    def _plan_cache_key(
+        self, pivot_query: ConjunctiveQuery, bound_parameters: Sequence[Variable]
+    ) -> tuple:
+        """Normalized query shape + catalog version + rewriting algorithm.
+
+        The shape keeps the query's actual variable names (a cached plan's
+        operators emit those names, and the residual filters / output
+        renaming applied around a cached plan must keep matching them) and
+        its constants (they are baked into the compiled store requests).
+        The query language translators name variables deterministically from
+        column names, so a repeated query template maps to the same key.
+        The catalog version makes entries from before any registration/drop
+        unreachable.
+        """
+
+        def canonical(term) -> object:
+            if isinstance(term, Variable):
+                return f"?{term.name}"
+            return ("const", repr(term.value))
+
+        head = tuple(canonical(term) for term in pivot_query.head_terms)
+        body = tuple(
+            (atom.relation, tuple(canonical(term) for term in atom.terms))
+            for atom in pivot_query.body
+        )
+        bound = tuple(sorted(f"?{variable.name}" for variable in bound_parameters))
+        return (self._algorithm, self._manager.version, head, body, bound)
 
     # -- query translation ----------------------------------------------------------------
     def translate_sql(self, dataset: str, sql: str) -> TranslatedQuery:
@@ -226,7 +324,7 @@ class Estocada:
         # Duplicate elimination is decided at the facade level (SQL bag
         # semantics vs. pivot-query set semantics), so plans are built without
         # a blanket Deduplicate.
-        planner = Planner(self._manager, distinct=False)
+        planner = Planner(self._manager, distinct=False, cost_model=self._cost_model)
         chooser = PlanChooser(planner, self._cost_model)
         ranked: list[RankedPlan] = []
         chosen: RankedPlan | None = None
@@ -262,7 +360,13 @@ class Estocada:
         name a relational dataset), or a :class:`DocumentQuery`.
         """
         pivot_query, output_names, residual, aggregation, extras = self._to_pivot(query, dataset)
-        explanation = self._explain_pivot(pivot_query, bound_parameters)
+        cache_key = self._plan_cache_key(pivot_query, bound_parameters)
+        explanation = self._plan_cache.get(cache_key)
+        cache_hit = explanation is not None
+        if explanation is None:
+            explanation = self._explain_pivot(pivot_query, bound_parameters)
+            if explanation.chosen is not None:
+                self._plan_cache.put(cache_key, explanation)
         if explanation.chosen is None:
             raise NoRewritingFoundError(
                 f"query {pivot_query.name!r} cannot be answered from the registered fragments: "
@@ -271,7 +375,12 @@ class Estocada:
         root: Operator = explanation.chosen.plan.root
         root = self._apply_residual(root, pivot_query, output_names, residual, aggregation, extras)
         result = self._engine.execute(root)
-        result.plan_description = explanation.plan_text()
+        result.cache_hit = cache_hit
+        result.plan_description = (
+            explanation.plan_text()
+            + f"\n-- plan cache: {'hit' if cache_hit else 'miss'}"
+            + f", batches: {result.batches}"
+        )
         return result
 
     # -- helpers ---------------------------------------------------------------------------------
@@ -346,7 +455,12 @@ class Estocada:
 
 
 class _RenameAndLimit(Operator):
-    """Rename head variables to output column names and apply LIMIT."""
+    """Rename head variables to output column names and apply LIMIT.
+
+    Streams batches through; under a LIMIT the upstream pipeline is abandoned
+    as soon as enough rows have been produced (the streaming engine's
+    early-exit advantage over the old materializing runtime).
+    """
 
     def __init__(
         self,
@@ -363,29 +477,53 @@ class _RenameAndLimit(Operator):
     def children(self) -> Sequence[Operator]:
         return (self._child,)
 
-    def rows(self, context) -> list[dict[str, object]]:
-        rows = self._child.rows(context)
-        if self._output_names is not None:
-            head_terms = self._pivot_query.head_terms
-            renamed: list[dict[str, object]] = []
-            for row in rows:
-                output: dict[str, object] = {}
-                for name, term in zip(self._output_names, head_terms):
-                    if isinstance(term, Variable):
-                        output[name] = row.get(term.name, row.get(name))
-                    else:
-                        output[name] = term.value
-                # Preserve aggregation outputs and any extra computed columns.
-                for key, value in row.items():
-                    if key not in output and all(
-                        not (isinstance(t, Variable) and t.name == key) for t in head_terms
-                    ):
-                        output.setdefault(key, value)
-                renamed.append(output)
-            rows = renamed
-        if self._limit is not None:
-            rows = rows[: self._limit]
-        return rows
+    def _rename_batch(self, batch: RowBatch) -> RowBatch:
+        head_terms = self._pivot_query.head_terms
+        head_variable_names = {t.name for t in head_terms if isinstance(t, Variable)}
+        columns = batch.columns
+        # Per-output value source: a constant, or a column position (the head
+        # term's variable when present, else a same-named column).
+        plan: list[tuple[str, bool, object]] = []  # (name, is_constant, value/pos)
+        for name, term in zip(self._output_names, head_terms):
+            if isinstance(term, Variable):
+                if term.name in columns:
+                    plan.append((name, False, columns.index(term.name)))
+                elif name in columns:
+                    plan.append((name, False, columns.index(name)))
+                else:
+                    plan.append((name, True, None))
+            else:
+                plan.append((name, True, term.value))
+        taken = {name for name, _, _ in plan}
+        # Preserve aggregation outputs and any extra computed columns.
+        extras = [
+            (column, index)
+            for index, column in enumerate(columns)
+            if column not in taken and column not in head_variable_names
+        ]
+        output_schema = tuple(name for name, _, _ in plan) + tuple(c for c, _ in extras)
+        rows = [
+            tuple(
+                value if is_constant else row[value]
+                for _, is_constant, value in plan
+            )
+            + tuple(row[index] for _, index in extras)
+            for row in batch.rows
+        ]
+        return RowBatch(output_schema, rows)
+
+    def _batches(self, context) -> "Iterable[RowBatch]":
+        remaining = self._limit
+        for batch in self._child.batches(context):
+            if self._output_names is not None:
+                batch = self._rename_batch(batch)
+            if remaining is not None:
+                batch = batch.take(remaining)
+                remaining -= len(batch)
+            if batch:
+                yield batch
+            if remaining is not None and remaining <= 0:
+                return
 
     def describe(self) -> str:
         return f"Output[{', '.join(self._output_names or ())}]"

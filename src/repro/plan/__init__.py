@@ -1,0 +1,33 @@
+"""The shared plan IR: logical plans emitted by translation, lowered physically.
+
+The rewriting translation step emits a **logical plan** (:mod:`repro.plan.logical`)
+describing *what* the mediator must compute: the delegation groups, the join
+structure between them, the final projection and duplicate elimination.  The
+**physical planning pass** (:mod:`repro.plan.physical`) lowers that IR to the
+runtime's operator tree, deciding *how* each step runs — delegated scan vs.
+key lookup vs. store-side join, and hash join vs. bind join per group, the
+latter chosen by the cost model when one is available.
+"""
+
+from repro.plan.logical import (
+    LogicalAccess,
+    LogicalDistinct,
+    LogicalJoin,
+    LogicalNode,
+    LogicalPlan,
+    LogicalProject,
+    build_logical_plan,
+)
+from repro.plan.physical import PhysicalPlan, PhysicalPlanner
+
+__all__ = [
+    "LogicalNode",
+    "LogicalAccess",
+    "LogicalJoin",
+    "LogicalProject",
+    "LogicalDistinct",
+    "LogicalPlan",
+    "build_logical_plan",
+    "PhysicalPlan",
+    "PhysicalPlanner",
+]

@@ -1,0 +1,176 @@
+"""The logical plan IR.
+
+A logical plan is the translation layer's output: rewriting atoms resolved
+against the catalog, ordered for access-pattern feasibility, grouped into
+maximal per-store delegation units, and arranged as a left-deep join chain
+with a final projection (and optional duplicate elimination).  It says
+nothing about join algorithms or store-request compilation — that is the
+physical pass's job (:mod:`repro.plan.physical`), which keeps the cost
+model's choices out of the structural translation step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.catalog.manager import StorageDescriptorManager
+from repro.core.query import ConjunctiveQuery
+from repro.core.terms import Variable
+from repro.errors import PlanningError
+from repro.translation.grouping import (
+    DelegationGroup,
+    group_for_delegation,
+    order_atoms,
+)
+
+__all__ = [
+    "LogicalNode",
+    "LogicalAccess",
+    "LogicalJoin",
+    "LogicalProject",
+    "LogicalDistinct",
+    "LogicalPlan",
+    "build_logical_plan",
+]
+
+
+class LogicalNode:
+    """Base class of logical plan nodes."""
+
+    def children(self) -> Sequence["LogicalNode"]:
+        return ()
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def explain(self, indent: int = 0) -> str:
+        """Printable logical sub-plan."""
+        line = "  " * indent + self.describe()
+        for child in self.children():
+            line += "\n" + child.explain(indent + 1)
+        return line
+
+
+@dataclass(slots=True)
+class LogicalAccess(LogicalNode):
+    """One delegation group: the largest sub-query one store can evaluate."""
+
+    group: DelegationGroup
+
+    def describe(self) -> str:
+        fragments = "+".join(
+            access.descriptor.fragment_name for access in self.group.accesses
+        )
+        return f"Access[store={self.group.store.name}, {fragments}]"
+
+
+@dataclass(slots=True)
+class LogicalJoin(LogicalNode):
+    """Join the plan so far with one more delegation group.
+
+    ``requires_binding`` is True when the right group's access pattern needs
+    values produced by the left side (the join *must* be a bind join);
+    ``algorithm`` pins the implementation ('hash' or 'bind'), or is None to
+    let the physical pass choose.
+    """
+
+    left: LogicalNode
+    right: LogicalAccess
+    requires_binding: bool = False
+    algorithm: str | None = None
+
+    def children(self) -> Sequence[LogicalNode]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        how = self.algorithm or ("bind" if self.requires_binding else "any")
+        return f"Join[{how}]"
+
+
+@dataclass(slots=True)
+class LogicalProject(LogicalNode):
+    """Project the head variables of the rewriting."""
+
+    child: LogicalNode
+    variables: tuple[str, ...]
+
+    def children(self) -> Sequence[LogicalNode]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Project[{', '.join(self.variables)}]"
+
+
+@dataclass(slots=True)
+class LogicalDistinct(LogicalNode):
+    """Set semantics: eliminate duplicate result rows."""
+
+    child: LogicalNode
+
+    def children(self) -> Sequence[LogicalNode]:
+        return (self.child,)
+
+
+@dataclass(slots=True)
+class LogicalPlan:
+    """The logical plan of one rewriting, plus its planning metadata."""
+
+    rewriting: ConjunctiveQuery
+    root: LogicalNode
+    groups: list[DelegationGroup]
+    head_variables: tuple[str, ...]
+    bound_parameters: tuple[Variable, ...] = ()
+
+    def explain(self) -> str:
+        """Printable logical plan."""
+        return self.root.explain()
+
+
+def build_logical_plan(
+    rewriting: ConjunctiveQuery,
+    manager: StorageDescriptorManager,
+    bound_parameters: Sequence[Variable] = (),
+    distinct: bool = False,
+) -> LogicalPlan:
+    """Translate a rewriting into the logical IR.
+
+    Atoms are ordered so every access pattern is satisfiable, grouped into
+    per-store delegation units, and chained into a left-deep join tree.
+    """
+    bound = tuple(bound_parameters)
+    ordered = order_atoms(rewriting, manager, bound_parameters=bound)
+    groups = group_for_delegation(ordered)
+    if not groups:
+        raise PlanningError(f"rewriting {rewriting.name!r} produced no delegation groups")
+
+    parameters: set[Variable] = set(bound)
+    root: LogicalNode | None = None
+    for group in groups:
+        needs_binding = any(
+            access.requires_binding(parameters) for access in group.accesses
+        )
+        access_node = LogicalAccess(group)
+        if root is None:
+            if needs_binding:
+                raise PlanningError(
+                    f"first delegation group of {rewriting.name!r} needs runtime bindings; "
+                    "the atom order should have prevented this"
+                )
+            root = access_node
+        else:
+            root = LogicalJoin(left=root, right=access_node, requires_binding=needs_binding)
+
+    head_variables = tuple(
+        term.name for term in rewriting.head_terms if isinstance(term, Variable)
+    )
+    root = LogicalProject(root, head_variables)
+    if distinct:
+        root = LogicalDistinct(root)
+    return LogicalPlan(
+        rewriting=rewriting,
+        root=root,
+        groups=groups,
+        head_variables=head_variables,
+        bound_parameters=bound,
+    )

@@ -1,5 +1,6 @@
 """Lightweight nested-relational execution engine (the ESTOCADA runtime)."""
 
+from repro.runtime.batch import DEFAULT_BATCH_SIZE, BatchBuilder, RowBatch, batches_from_bindings
 from repro.runtime.engine import ExecutionEngine, QueryResult, StoreBreakdown
 from repro.runtime.operators import (
     Aggregate,
@@ -16,6 +17,10 @@ from repro.runtime.operators import (
 from repro.runtime.values import Binding, merge_bindings, nest_rows, project_binding
 
 __all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "RowBatch",
+    "BatchBuilder",
+    "batches_from_bindings",
     "ExecutionEngine",
     "QueryResult",
     "StoreBreakdown",

@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+from repro.runtime.batch import DEFAULT_BATCH_SIZE
 from repro.runtime.operators import ExecutionContext, Operator
 from repro.runtime.values import Binding
 from repro.stores.base import StoreMetrics
@@ -42,6 +43,8 @@ class QueryResult:
     store_breakdown: dict[str, StoreBreakdown] = field(default_factory=dict)
     runtime_rows_processed: int = 0
     plan_description: str = ""
+    batches: int = 0
+    cache_hit: bool = False
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -63,6 +66,8 @@ class QueryResult:
             "rows": len(self.rows),
             "elapsed_seconds": self.elapsed_seconds,
             "runtime_seconds": self.runtime_time(),
+            "batches": self.batches,
+            "cache_hit": self.cache_hit,
             "stores": {
                 name: {
                     "requests": breakdown.requests,
@@ -77,27 +82,43 @@ class QueryResult:
 
 
 class ExecutionEngine:
-    """Evaluates physical plans built by the planner."""
+    """Evaluates physical plans batch-at-a-time.
+
+    The plan's batch stream is drained here — the *only* place where the full
+    result is materialized — while every operator above the stores streams
+    :class:`~repro.runtime.batch.RowBatch` objects.
+    """
+
+    def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+        self._batch_size = max(1, batch_size)
 
     def execute(
         self,
         plan: Operator,
         parameters: Mapping[str, object] | None = None,
+        batch_size: int | None = None,
     ) -> QueryResult:
         """Run ``plan`` and return its result with the performance breakdown."""
-        context = ExecutionContext(parameters=dict(parameters or {}))
+        context = ExecutionContext(
+            parameters=dict(parameters or {}),
+            batch_size=batch_size or self._batch_size,
+        )
         started = time.perf_counter()
-        rows = plan.rows(context)
+        rows: list[Binding] = []
+        batch_count = 0
+        for batch in plan.batches(context):
+            batch_count += 1
+            rows.extend(batch.iter_bindings())
         elapsed = time.perf_counter() - started
 
         breakdown: dict[str, StoreBreakdown] = {}
-        for store_name, result in context.store_results:
+        for store_name, metrics in context.store_results:
             entry = breakdown.setdefault(store_name, StoreBreakdown(store=store_name))
             entry.requests += 1
-            entry.rows_scanned += result.metrics.rows_scanned
-            entry.rows_returned += result.metrics.rows_returned
-            entry.index_lookups += result.metrics.index_lookups
-            entry.elapsed_seconds += result.metrics.elapsed_seconds
+            entry.rows_scanned += metrics.rows_scanned
+            entry.rows_returned += metrics.rows_returned
+            entry.index_lookups += metrics.index_lookups
+            entry.elapsed_seconds += metrics.elapsed_seconds
 
         return QueryResult(
             rows=rows,
@@ -105,4 +126,5 @@ class ExecutionEngine:
             store_breakdown=breakdown,
             runtime_rows_processed=context.runtime_rows_processed,
             plan_description=plan.explain(),
+            batches=batch_count,
         )

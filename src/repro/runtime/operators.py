@@ -2,8 +2,11 @@
 
 The runtime evaluates the *non-delegated* part of a plan: it stitches
 together the results of the sub-queries delegated to the underlying stores.
-Operators are small composable objects; ``rows(context)`` returns a list of
-bindings (variable name → value).  The operator set follows the paper:
+Operators are small composable objects evaluated **batch-at-a-time**:
+``batches(context)`` yields :class:`~repro.runtime.batch.RowBatch` objects
+(column-oriented, tuple-based rows) so that no operator ever materializes the
+whole result; ``rows(context)`` is the terminal collection helper that drains
+the batch stream into binding dicts.  The operator set follows the paper:
 
 * :class:`DelegatedRequest` — evaluate a store request (the delegated
   sub-query) and map its rows to pivot variables;
@@ -15,16 +18,26 @@ bindings (variable name → value).  The operator set follows the paper:
   selections/projections;
 * :class:`NestedConstruct` — builds nested results when no store can;
 * :class:`Aggregate` — simple grouped aggregation for the benchmark queries.
+
+Operators hold no per-execution state, so one plan can be executed many times
+(the plan cache relies on this).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Iterator, Mapping, Sequence
 
 from repro.errors import ExecutionError
-from repro.runtime.values import Binding, merge_bindings, nest_rows, project_binding
-from repro.stores.base import LookupRequest, Predicate, ScanRequest, Store, StoreRequest, StoreResult
+from repro.runtime.batch import (
+    DEFAULT_BATCH_SIZE,
+    BatchBuilder,
+    RowBatch,
+    batches_from_bindings,
+    freeze_value,
+)
+from repro.runtime.values import Binding, nest_rows
+from repro.stores.base import Store, StoreMetrics, StoreRequest, StoreResult
 
 __all__ = [
     "ExecutionContext",
@@ -42,23 +55,53 @@ __all__ = [
 
 @dataclass(slots=True)
 class ExecutionContext:
-    """Mutable per-execution state: parameters and per-store metrics."""
+    """Mutable per-execution state: parameters, batch size and store metrics."""
 
     parameters: dict[str, object] = field(default_factory=dict)
-    store_results: list[tuple[str, StoreResult]] = field(default_factory=list)
+    batch_size: int = DEFAULT_BATCH_SIZE
+    store_results: list[tuple[str, StoreMetrics]] = field(default_factory=list)
     runtime_rows_processed: int = 0
 
-    def record(self, store_name: str, result: StoreResult) -> None:
-        """Record a store result for the per-store performance breakdown."""
-        self.store_results.append((store_name, result))
+    def record(self, store_name: str, result: StoreResult | StoreMetrics) -> None:
+        """Record a store request's metrics for the per-store breakdown."""
+        metrics = result.metrics if isinstance(result, StoreResult) else result
+        self.store_results.append((store_name, metrics))
+
+
+def _owner_index(cls: type, attribute: str) -> int:
+    """Position in ``cls.__mro__`` of the class defining ``attribute``."""
+    for index, klass in enumerate(cls.__mro__):
+        if attribute in vars(klass):
+            return index
+    return len(cls.__mro__)
 
 
 class Operator:
-    """Base class of every physical operator."""
+    """Base class of every physical operator.
+
+    The streaming protocol is :meth:`batches`; concrete operators implement
+    :meth:`_batches`.  An operator (or test double) that overrides
+    :meth:`rows` *below* the class providing ``_batches`` is treated as a
+    legacy materializing operator and adapted by chunking its rows.
+    """
+
+    def batches(self, context: ExecutionContext) -> Iterator[RowBatch]:
+        """Evaluate the operator as a stream of row batches."""
+        cls = type(self)
+        if _owner_index(cls, "rows") < _owner_index(cls, "_batches"):
+            return batches_from_bindings(self.rows(context), context.batch_size)
+        return self._batches(context)
+
+    def _batches(self, context: ExecutionContext) -> Iterator[RowBatch]:
+        """The operator's streaming implementation (override this)."""
+        raise NotImplementedError(f"{type(self).__name__} implements neither _batches nor rows")
 
     def rows(self, context: ExecutionContext) -> list[Binding]:
-        """Evaluate the operator and return its bindings."""
-        raise NotImplementedError
+        """Terminal collection: drain the batch stream into binding dicts."""
+        collected: list[Binding] = []
+        for batch in self.batches(context):
+            collected.extend(batch.iter_bindings())
+        return collected
 
     def children(self) -> Sequence["Operator"]:
         """Child operators (for plan printing and tests)."""
@@ -76,22 +119,15 @@ class Operator:
         return type(self).__name__
 
 
-@dataclass(slots=True)
-class _ColumnBinding:
-    """How one store column maps to a pivot variable or a required constant."""
-
-    store_column: str
-    variable: str | None = None
-    constant: object | None = None
-    is_constant: bool = False
-
-
 class DelegatedRequest(Operator):
     """Evaluate a store request and map its rows to variable bindings.
 
     ``output`` maps store column names to variable names; ``constants`` lists
     (store column, value) pairs that must hold on returned rows (constants in
     the rewriting atom that the store may or may not have filtered already).
+    Results stream from the store in batches; the store's metrics are recorded
+    once the stream ends (with whatever was accumulated if the consumer stops
+    early, e.g. under a LIMIT).
     """
 
     def __init__(
@@ -108,18 +144,33 @@ class DelegatedRequest(Operator):
         self._constants = dict(constants or {})
         self._label = label or getattr(request, "collection", type(request).__name__)
 
-    def rows(self, context: ExecutionContext) -> list[Binding]:
-        result = self._store.execute(self._request)
-        context.record(self._store.name, result)
-        bindings: list[Binding] = []
-        for row in result.rows:
-            if any(row.get(column) != value for column, value in self._constants.items()):
-                continue
-            bindings.append(
-                {variable: row.get(column) for column, variable in self._output.items()}
-            )
-        context.runtime_rows_processed += len(bindings)
-        return bindings
+    def _batches(self, context: ExecutionContext) -> Iterator[RowBatch]:
+        stream = self._store.execute_stream(self._request, context.batch_size)
+        chunks = iter(stream)
+        store_columns = tuple(self._output)
+        schema = tuple(self._output[column] for column in store_columns)
+        constant_items = tuple(self._constants.items())
+        builder = BatchBuilder(schema, context.batch_size)
+        try:
+            for chunk in chunks:
+                for row in chunk:
+                    if constant_items and any(
+                        row.get(column) != value for column, value in constant_items
+                    ):
+                        continue
+                    full = builder.add(tuple(row.get(column) for column in store_columns))
+                    if full is not None:
+                        context.runtime_rows_processed += len(full)
+                        yield full
+            tail = builder.flush()
+            if tail is not None:
+                context.runtime_rows_processed += len(tail)
+                yield tail
+        finally:
+            # Close the stream first so its metrics are finalized even when
+            # this operator is abandoned mid-stream (LIMIT early exit).
+            chunks.close()
+            context.record(self._store.name, stream.metrics)
 
     def describe(self) -> str:
         return (
@@ -134,7 +185,9 @@ class BindJoin(Operator):
     ``request_factory`` receives the left binding and returns the store
     request to issue (typically a :class:`LookupRequest` with the key bound,
     or a :class:`ScanRequest` with an equality predicate).  Rows returned by
-    the probe are mapped through ``output`` and merged with the left binding.
+    the probe are mapped through ``output`` and merged with the left binding;
+    probe rows disagreeing with the left binding on a shared variable are
+    dropped (the usual compatible-bindings semantics).
     """
 
     def __init__(
@@ -156,32 +209,77 @@ class BindJoin(Operator):
     def children(self) -> Sequence[Operator]:
         return (self._left,)
 
-    def rows(self, context: ExecutionContext) -> list[Binding]:
-        results: list[Binding] = []
-        for left_binding in self._left.rows(context):
-            request = self._request_factory(left_binding)
-            if request is None:
-                continue
-            probe = self._store.execute(request)
-            context.record(self._store.name, probe)
-            for row in probe.rows:
-                if any(row.get(column) != value for column, value in self._constants.items()):
-                    continue
-                right_binding = {
-                    variable: row.get(column) for column, variable in self._output.items()
+    def _batches(self, context: ExecutionContext) -> Iterator[RowBatch]:
+        output_items = tuple(self._output.items())
+        constant_items = tuple(self._constants.items())
+        left_schema: tuple[str, ...] | None = None
+        shared_positions: dict[str, int] = {}
+        new_variables: tuple[str, ...] = ()
+        builder: BatchBuilder | None = None
+        for left_batch in self._left.batches(context):
+            if left_batch.columns != left_schema:
+                if builder is not None:
+                    tail = builder.flush()
+                    if tail is not None:
+                        context.runtime_rows_processed += len(tail)
+                        yield tail
+                left_schema = left_batch.columns
+                left_set = set(left_schema)
+                shared_positions = {
+                    variable: left_schema.index(variable)
+                    for _, variable in output_items
+                    if variable in left_set
                 }
-                merged = merge_bindings(left_binding, right_binding)
-                if merged is not None:
-                    results.append(merged)
-        context.runtime_rows_processed += len(results)
-        return results
+                seen_new: dict[str, None] = {}
+                for _, variable in output_items:
+                    if variable not in left_set:
+                        seen_new.setdefault(variable, None)
+                new_variables = tuple(seen_new)
+                builder = BatchBuilder(left_schema + new_variables, context.batch_size)
+            for left_row in left_batch.rows:
+                left_binding = dict(zip(left_schema, left_row))
+                request = self._request_factory(left_binding)
+                if request is None:
+                    continue
+                probe = self._store.execute(request)
+                context.record(self._store.name, probe)
+                for row in probe.rows:
+                    if constant_items and any(
+                        row.get(column) != value for column, value in constant_items
+                    ):
+                        continue
+                    right_binding: dict[str, object] = {}
+                    for column, variable in output_items:
+                        right_binding[variable] = row.get(column)
+                    if any(
+                        left_row[position] != right_binding[variable]
+                        for variable, position in shared_positions.items()
+                    ):
+                        continue
+                    full = builder.add(
+                        left_row
+                        + tuple(right_binding.get(variable) for variable in new_variables)
+                    )
+                    if full is not None:
+                        context.runtime_rows_processed += len(full)
+                        yield full
+        if builder is not None:
+            tail = builder.flush()
+            if tail is not None:
+                context.runtime_rows_processed += len(tail)
+                yield tail
 
     def describe(self) -> str:
         return f"BindJoin[store={self._store.name}, {self._label}, vars={sorted(self._output.values())}]"
 
 
 class HashJoin(Operator):
-    """Mediator-side equi-join of two sub-plans on their shared variables."""
+    """Mediator-side equi-join of two sub-plans on their shared variables.
+
+    The right (build) side is materialized into a hash table; the left side
+    streams through it batch by batch.  Join variables are inferred once from
+    the two schemas (not per probe row).
+    """
 
     def __init__(self, left: Operator, right: Operator, on: Sequence[str] | None = None) -> None:
         self._left = left
@@ -191,39 +289,118 @@ class HashJoin(Operator):
     def children(self) -> Sequence[Operator]:
         return (self._left, self._right)
 
-    def rows(self, context: ExecutionContext) -> list[Binding]:
-        left_rows = self._left.rows(context)
-        right_rows = self._right.rows(context)
-        if not left_rows or not right_rows:
-            return []
+    def _batches(self, context: ExecutionContext) -> Iterator[RowBatch]:
+        # Build side: materialize (a hash join's build side is inherently
+        # blocking) under one canonical schema.
+        right_batches = [batch for batch in self._right.batches(context) if batch]
+        if not right_batches:
+            return
+        right_schema = right_batches[0].columns
+        if any(batch.columns != right_schema for batch in right_batches[1:]):
+            # Schema drift across batches (legacy adapters chunk dict rows
+            # with per-chunk schemas): realign everything on the union so no
+            # column from a later batch is dropped.
+            union: dict[str, None] = {}
+            for batch in right_batches:
+                for column in batch.columns:
+                    union.setdefault(column, None)
+            right_schema = tuple(union)
+        right_rows: list[tuple] = []
+        for batch in right_batches:
+            if batch.columns == right_schema:
+                right_rows.extend(batch.rows)
+            else:
+                indexer = batch.indexer(right_schema)
+                right_rows.extend(
+                    tuple(row[i] if i is not None else None for i in indexer)
+                    for row in batch.rows
+                )
+
         join_variables = self._on
-        if join_variables is None:
-            join_variables = tuple(
-                sorted(set(left_rows[0]) & set(right_rows[0]))
-            )
-        if not join_variables:
-            # Cartesian product (rare: disconnected rewriting atoms).
-            product = []
-            for left_binding in left_rows:
-                for right_binding in right_rows:
-                    merged = merge_bindings(left_binding, right_binding)
-                    if merged is not None:
-                        product.append(merged)
-            context.runtime_rows_processed += len(product)
-            return product
-        build: dict[tuple, list[Binding]] = {}
-        for right_binding in right_rows:
-            key = tuple(right_binding.get(variable) for variable in join_variables)
-            build.setdefault(key, []).append(right_binding)
-        joined: list[Binding] = []
-        for left_binding in left_rows:
-            key = tuple(left_binding.get(variable) for variable in join_variables)
-            for right_binding in build.get(key, ()):
-                merged = merge_bindings(left_binding, right_binding)
-                if merged is not None:
-                    joined.append(merged)
-        context.runtime_rows_processed += len(joined)
-        return joined
+        left_schema: tuple[str, ...] | None = None
+        left_key_indexer: list[int | None] = []
+        extra_checks: tuple[tuple[int, int], ...] = ()
+        right_tail_positions: tuple[int, ...] = ()
+        build: dict[tuple, list[tuple]] | None = None
+        builder: BatchBuilder | None = None
+
+        for left_batch in self._left.batches(context):
+            if not left_batch:
+                continue
+            if left_batch.columns != left_schema:
+                if builder is not None:
+                    tail = builder.flush()
+                    if tail is not None:
+                        context.runtime_rows_processed += len(tail)
+                        yield tail
+                left_schema = left_batch.columns
+                if join_variables is None:
+                    join_variables = tuple(
+                        sorted(set(left_schema) & set(right_schema))
+                    )
+                left_set = set(left_schema)
+                # Right columns not produced by the left side are appended.
+                right_tail_positions = tuple(
+                    index
+                    for index, column in enumerate(right_schema)
+                    if column not in left_set
+                )
+                output_schema = left_schema + tuple(
+                    right_schema[index] for index in right_tail_positions
+                )
+                # Shared columns beyond the join key must still agree
+                # (compatible-bindings semantics with an explicit `on`).
+                extra_checks = tuple(
+                    (left_schema.index(column), right_schema.index(column))
+                    for column in left_set & set(right_schema)
+                    if column not in join_variables
+                )
+                left_key_indexer = [
+                    left_schema.index(v) if v in left_set else None for v in join_variables
+                ]
+                if build is None and join_variables:
+                    right_key_indexer = RowBatch(right_schema, []).indexer(join_variables)
+                    build = {}
+                    for row in right_rows:
+                        key = tuple(
+                            row[i] if i is not None else None for i in right_key_indexer
+                        )
+                        build.setdefault(key, []).append(row)
+                builder = BatchBuilder(output_schema, context.batch_size)
+
+            if not join_variables:
+                # Cartesian product (rare: disconnected rewriting atoms).
+                for left_row in left_batch.rows:
+                    for right_row in right_rows:
+                        full = builder.add(
+                            left_row
+                            + tuple(right_row[i] for i in right_tail_positions)
+                        )
+                        if full is not None:
+                            context.runtime_rows_processed += len(full)
+                            yield full
+                continue
+
+            for left_row in left_batch.rows:
+                key = tuple(
+                    left_row[i] if i is not None else None for i in left_key_indexer
+                )
+                for right_row in build.get(key, ()):
+                    if any(
+                        left_row[li] != right_row[ri] for li, ri in extra_checks
+                    ):
+                        continue
+                    full = builder.add(
+                        left_row + tuple(right_row[i] for i in right_tail_positions)
+                    )
+                    if full is not None:
+                        context.runtime_rows_processed += len(full)
+                        yield full
+        if builder is not None:
+            tail = builder.flush()
+            if tail is not None:
+                context.runtime_rows_processed += len(tail)
+                yield tail
 
     def describe(self) -> str:
         on = "natural" if self._on is None else ",".join(self._on)
@@ -241,10 +418,14 @@ class Filter(Operator):
     def children(self) -> Sequence[Operator]:
         return (self._child,)
 
-    def rows(self, context: ExecutionContext) -> list[Binding]:
-        selected = [binding for binding in self._child.rows(context) if self._predicate(binding)]
-        context.runtime_rows_processed += len(selected)
-        return selected
+    def _batches(self, context: ExecutionContext) -> Iterator[RowBatch]:
+        predicate = self._predicate
+        for batch in self._child.batches(context):
+            columns = batch.columns
+            kept = [row for row in batch.rows if predicate(dict(zip(columns, row)))]
+            if kept:
+                context.runtime_rows_processed += len(kept)
+                yield RowBatch(columns, kept)
 
     def describe(self) -> str:
         return f"Filter[{self._label}]" if self._label else "Filter"
@@ -262,21 +443,36 @@ class Project(Operator):
     def children(self) -> Sequence[Operator]:
         return (self._child,)
 
-    def rows(self, context: ExecutionContext) -> list[Binding]:
-        projected: list[Binding] = []
-        for binding in self._child.rows(context):
-            narrowed = project_binding(binding, self._variables)
-            if self._renaming:
-                narrowed = {self._renaming.get(k, k): v for k, v in narrowed.items()}
-            projected.append(narrowed)
-        return projected
+    def _batches(self, context: ExecutionContext) -> Iterator[RowBatch]:
+        output_schema = tuple(
+            self._renaming.get(variable, variable) for variable in self._variables
+        )
+        source_schema: tuple[str, ...] | None = None
+        indexer: list[int | None] = []
+        for batch in self._child.batches(context):
+            if batch.columns != source_schema:
+                source_schema = batch.columns
+                indexer = batch.indexer(self._variables)
+            rows = [
+                tuple(row[i] if i is not None else None for i in indexer)
+                for row in batch.rows
+            ]
+            if rows:
+                yield RowBatch(output_schema, rows)
 
     def describe(self) -> str:
         return f"Project[{', '.join(self._variables)}]"
 
 
 class Deduplicate(Operator):
-    """Set semantics: drop duplicate bindings."""
+    """Set semantics: drop duplicate bindings.
+
+    Seen keys are hashed incrementally as batches stream through; a row's key
+    is its (type, value) tuple in a canonical column order (frozen into nested
+    tuples only when a value is unhashable), so keys are not rebuilt per
+    comparison.  Types are part of the key so that ``1``, ``1.0`` and ``True``
+    stay distinct rows, as under the seed engine's repr-based keys.
+    """
 
     def __init__(self, child: Operator) -> None:
         self._child = child
@@ -284,15 +480,32 @@ class Deduplicate(Operator):
     def children(self) -> Sequence[Operator]:
         return (self._child,)
 
-    def rows(self, context: ExecutionContext) -> list[Binding]:
+    def _batches(self, context: ExecutionContext) -> Iterator[RowBatch]:
         seen: set[tuple] = set()
-        unique: list[Binding] = []
-        for binding in self._child.rows(context):
-            key = tuple(sorted((k, repr(v)) for k, v in binding.items()))
-            if key not in seen:
-                seen.add(key)
-                unique.append(binding)
-        return unique
+        schema: tuple[str, ...] | None = None
+        order: list[int] = []
+        signature: tuple[str, ...] = ()
+        for batch in self._child.batches(context):
+            if batch.columns != schema:
+                schema = batch.columns
+                order = sorted(range(len(schema)), key=lambda i: schema[i])
+                signature = tuple(schema[i] for i in order)
+            unique: list[tuple] = []
+            for row in batch.rows:
+                key = (signature, tuple((row[i].__class__, row[i]) for i in order))
+                try:
+                    is_new = key not in seen
+                except TypeError:
+                    key = (
+                        signature,
+                        tuple((row[i].__class__, freeze_value(row[i])) for i in order),
+                    )
+                    is_new = key not in seen
+                if is_new:
+                    seen.add(key)
+                    unique.append(row)
+            if unique:
+                yield RowBatch(batch.columns, unique)
 
 
 class NestedConstruct(Operator):
@@ -313,9 +526,13 @@ class NestedConstruct(Operator):
     def children(self) -> Sequence[Operator]:
         return (self._child,)
 
-    def rows(self, context: ExecutionContext) -> list[Binding]:
-        return nest_rows(
+    def _batches(self, context: ExecutionContext) -> Iterator[RowBatch]:
+        # Grouping is blocking: consume the child fully, then stream the groups.
+        nested = nest_rows(
             self._child.rows(context), self._group_keys, self._nested_name, self._nested_columns
+        )
+        yield from batches_from_bindings(
+            nested, context.batch_size, self._group_keys + (self._nested_name,)
         )
 
     def describe(self) -> str:
@@ -343,30 +560,62 @@ class Aggregate(Operator):
     def children(self) -> Sequence[Operator]:
         return (self._child,)
 
-    def rows(self, context: ExecutionContext) -> list[Binding]:
-        groups: dict[tuple, list[Binding]] = {}
-        for binding in self._child.rows(context):
-            key = tuple(binding.get(variable) for variable in self._group_by)
-            groups.setdefault(key, []).append(binding)
-        output: list[Binding] = []
-        for key, members in groups.items():
-            row: Binding = dict(zip(self._group_by, key))
+    def _batches(self, context: ExecutionContext) -> Iterator[RowBatch]:
+        # Aggregation is blocking: accumulate groups incrementally from the
+        # child's batches, then stream the aggregated rows out.
+        group_indexer: list[int | None] = []
+        value_indexers: dict[str, int | None] = {}
+        schema: tuple[str, ...] | None = None
+        groups: dict[tuple, tuple[int, dict[str, list[object]]]] = {}
+        value_columns = {
+            column for _, column in self._aggregations.values() if column is not None
+        }
+        for batch in self._child.batches(context):
+            if batch.columns != schema:
+                schema = batch.columns
+                group_indexer = batch.indexer(self._group_by)
+                value_indexers = {
+                    column: (batch.columns.index(column) if column in batch.columns else None)
+                    for column in value_columns
+                }
+            for row in batch.rows:
+                key = tuple(row[i] if i is not None else None for i in group_indexer)
+                entry = groups.get(key)
+                if entry is None:
+                    entry = (0, {column: [] for column in value_columns})
+                count, values_by_column = entry
+                for column, index in value_indexers.items():
+                    value = row[index] if index is not None else None
+                    if value is not None:
+                        values_by_column[column].append(value)
+                groups[key] = (count + 1, values_by_column)
+
+        output_schema = self._group_by + tuple(self._aggregations)
+        builder = BatchBuilder(output_schema, context.batch_size)
+        produced = 0
+        for key, (count, values_by_column) in groups.items():
+            aggregated: list[object] = []
             for name, (function, column) in self._aggregations.items():
-                values = [m.get(column) for m in members if column is not None]
-                values = [v for v in values if v is not None]
+                values = values_by_column.get(column, []) if column is not None else []
                 if function == "count":
-                    row[name] = len(members) if column is None else len(values)
+                    aggregated.append(count if column is None else len(values))
                 elif function == "sum":
-                    row[name] = sum(values) if values else 0
+                    aggregated.append(sum(values) if values else 0)
                 elif function == "avg":
-                    row[name] = (sum(values) / len(values)) if values else None
+                    aggregated.append((sum(values) / len(values)) if values else None)
                 elif function == "min":
-                    row[name] = min(values) if values else None
+                    aggregated.append(min(values) if values else None)
                 elif function == "max":
-                    row[name] = max(values) if values else None
-            output.append(row)
-        context.runtime_rows_processed += len(output)
-        return output
+                    aggregated.append(max(values) if values else None)
+            full = builder.add(key + tuple(aggregated))
+            if full is not None:
+                produced += len(full)
+                yield full
+        tail = builder.flush()
+        if tail is not None:
+            produced += len(tail)
+            yield tail
+        context.runtime_rows_processed += produced
 
     def describe(self) -> str:
         return f"Aggregate[by {', '.join(self._group_by) or '()'}]"

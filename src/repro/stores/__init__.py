@@ -17,6 +17,7 @@ from repro.stores.base import (
     StoreMetrics,
     StoreRequest,
     StoreResult,
+    StoreResultStream,
 )
 from repro.stores.document import DocumentStore
 from repro.stores.fulltext import FullTextStore
@@ -29,6 +30,7 @@ __all__ = [
     "StoreCapabilities",
     "StoreMetrics",
     "StoreResult",
+    "StoreResultStream",
     "StoreRequest",
     "Predicate",
     "ScanRequest",

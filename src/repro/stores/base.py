@@ -37,10 +37,14 @@ __all__ = [
     "SearchRequest",
     "StoreRequest",
     "StoreResult",
+    "StoreResultStream",
     "StoreMetrics",
     "Store",
     "COMPARATORS",
+    "DEFAULT_STREAM_BATCH_SIZE",
 ]
+
+DEFAULT_STREAM_BATCH_SIZE = 256
 
 
 COMPARATORS: dict[str, Callable[[object, object], bool]] = {
@@ -170,13 +174,73 @@ class StoreResult:
         return iter(self.rows)
 
 
+class StoreResultStream:
+    """A lazily batched store result.
+
+    Iterating yields lists of row dicts of at most ``batch_size`` rows.  The
+    request's :attr:`metrics` are finalized once the stream is exhausted (the
+    consumer — typically a ``DelegatedRequest`` operator — records them into
+    the per-query store breakdown at that point).  Time spent inside the store
+    (issuing the request, pulling rows) is measured; time the consumer spends
+    between batches is not charged to the store.
+    """
+
+    __slots__ = ("_store", "_request", "_batch_size", "metrics", "_consumed")
+
+    def __init__(self, store: "Store", request: StoreRequest, batch_size: int) -> None:
+        self._store = store
+        self._request = request
+        self._batch_size = max(1, batch_size)
+        self.metrics = StoreMetrics()
+        self._consumed = False
+
+    def __iter__(self) -> Iterator[list[dict[str, object]]]:
+        if self._consumed:
+            raise StoreError(
+                f"result stream of {self._store.name!r} has already been consumed"
+            )
+        self._consumed = True
+        returned = 0
+        elapsed = 0.0
+        base_metrics = StoreMetrics()
+        try:
+            started = time.perf_counter()
+            rows_iter, base_metrics = self._store._execute_stream(self._request)
+            elapsed = time.perf_counter() - started
+            while True:
+                pulled = time.perf_counter()
+                batch: list[dict[str, object]] = []
+                for row in rows_iter:
+                    batch.append(row)
+                    if len(batch) >= self._batch_size:
+                        break
+                elapsed += time.perf_counter() - pulled
+                if not batch:
+                    break
+                returned += len(batch)
+                yield batch
+        finally:
+            # Runs on exhaustion *and* when the consumer abandons the stream
+            # early (e.g. under a LIMIT): whatever was actually pulled is
+            # what the request served.
+            self.metrics = StoreMetrics(
+                rows_scanned=base_metrics.rows_scanned,
+                rows_returned=returned,
+                index_lookups=base_metrics.index_lookups,
+                partitions_used=base_metrics.partitions_used,
+                elapsed_seconds=elapsed,
+            )
+            self._store._note_request(self.metrics)
+
+
 class Store:
     """Abstract base class of every simulated DMS.
 
     Subclasses implement :meth:`_execute` for the request kinds they support
     and declare their profile via :meth:`capabilities`.  The public
     :meth:`execute` wrapper adds timing and cumulative per-store counters used
-    by the demo's performance reporting.
+    by the demo's performance reporting; :meth:`execute_stream` is the batched
+    path used by the streaming runtime for scans.
     """
 
     def __init__(self, name: str) -> None:
@@ -204,6 +268,20 @@ class Store:
     def _execute(self, request: StoreRequest) -> StoreResult:
         raise NotImplementedError
 
+    def _execute_stream(
+        self, request: StoreRequest
+    ) -> tuple[Iterator[dict[str, object]], StoreMetrics]:
+        """Streaming counterpart of :meth:`_execute`.
+
+        Returns an iterator of rows plus the request's base metrics
+        (``rows_returned`` and ``elapsed_seconds`` are filled in by the
+        :class:`StoreResultStream` wrapper as rows are pulled).  The default
+        delegates to :meth:`_execute`; stores with a genuinely incremental
+        access path may override it to avoid materializing the result.
+        """
+        result = self._execute(request)
+        return iter(result.rows), result.metrics
+
     # -- public API -------------------------------------------------------------
     def execute(self, request: StoreRequest) -> StoreResult:
         """Execute a request, recording timing and cumulative metrics."""
@@ -211,9 +289,23 @@ class Store:
         result = self._execute(request)
         result.metrics.elapsed_seconds = time.perf_counter() - started
         result.metrics.rows_returned = len(result.rows)
-        self._total_metrics = self._total_metrics.merge(result.metrics)
-        self._requests_served += 1
+        self._note_request(result.metrics)
         return result
+
+    def execute_stream(
+        self, request: StoreRequest, batch_size: int = DEFAULT_STREAM_BATCH_SIZE
+    ) -> StoreResultStream:
+        """Execute a request returning its rows in batches of ``batch_size``.
+
+        The stream's metrics (and the store's cumulative counters) are
+        finalized when the stream is exhausted.
+        """
+        return StoreResultStream(self, request, batch_size)
+
+    def _note_request(self, metrics: StoreMetrics) -> None:
+        """Fold one served request into the cumulative counters."""
+        self._total_metrics = self._total_metrics.merge(metrics)
+        self._requests_served += 1
 
     def reset_metrics(self) -> None:
         """Zero the cumulative counters (used between benchmark runs)."""

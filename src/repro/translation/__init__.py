@@ -7,7 +7,6 @@ from repro.translation.grouping import (
     order_atoms,
     resolve_atoms,
 )
-from repro.translation.planner import PhysicalPlan, Planner
 
 __all__ = [
     "AtomAccess",
@@ -18,3 +17,14 @@ __all__ = [
     "Planner",
     "PhysicalPlan",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy import: the planner pulls in the plan IR package, whose logical
+    # builder imports repro.translation.grouping — importing it eagerly here
+    # would close an import cycle during package initialization.
+    if name in ("Planner", "PhysicalPlan"):
+        from repro.translation import planner
+
+        return getattr(planner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,307 +1,77 @@
 """The rewriting translation step: from a CQ over fragments to a physical plan.
 
 Given a rewriting produced by the PACB engine (a conjunctive query whose
-atoms are fragment relations), the planner:
+atoms are fragment relations), planning happens in two passes over the shared
+plan IR (:mod:`repro.plan`):
 
-1. resolves each atom against the catalog (fragment descriptor, store,
-   column names) and orders the atoms so every access pattern is satisfied;
-2. groups consecutive atoms that can be **delegated** together to the same
-   join-capable store, and compiles each group into the store-request
-   micro-IR (scans with pushed-down equality predicates, key lookups, or
-   delegated joins);
-3. stitches the delegated requests together with runtime operators —
+1. the **logical pass** (:func:`repro.plan.logical.build_logical_plan`)
+   resolves each atom against the catalog, orders the atoms so every access
+   pattern is satisfied, and groups consecutive atoms that can be
+   **delegated** together to the same join-capable store;
+2. the **physical pass** (:class:`repro.plan.physical.PhysicalPlanner`)
+   compiles each group into the store-request micro-IR and stitches the
+   delegated requests together with runtime operators —
    :class:`~repro.runtime.operators.BindJoin` when a group needs values
-   produced earlier (access-restricted sources), hash joins otherwise — and
-   finally projects the query head.
+   produced earlier (access-restricted sources), and otherwise hash join or
+   bind join as the cost model prefers.
 
-The planner is purely structural; choosing *among* alternative rewritings is
-the cost model's job (:mod:`repro.cost`).
+:class:`Planner` is the façade tying the two passes together.  Choosing
+*among* alternative rewritings remains the chooser's job (:mod:`repro.cost`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.catalog.manager import StorageDescriptorManager
 from repro.core.query import ConjunctiveQuery
-from repro.core.terms import Constant, Variable
-from repro.errors import PlanningError
-from repro.runtime.operators import (
-    BindJoin,
-    Deduplicate,
-    DelegatedRequest,
-    HashJoin,
-    Operator,
-    Project,
-)
-from repro.runtime.values import Binding
-from repro.stores.base import JoinRequest, LookupRequest, Predicate, ScanRequest, StoreRequest
-from repro.translation.grouping import (
-    AtomAccess,
-    DelegationGroup,
-    group_for_delegation,
-    order_atoms,
-)
+from repro.core.terms import Variable
+from repro.plan.logical import LogicalPlan, build_logical_plan
+from repro.plan.physical import PhysicalPlan, PhysicalPlanner
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cost.cost_model import CostModel
 
 __all__ = ["PhysicalPlan", "Planner"]
 
 
-@dataclass(slots=True)
-class PhysicalPlan:
-    """A physical plan: the operator tree plus planning metadata."""
-
-    rewriting: ConjunctiveQuery
-    root: Operator
-    groups: list[DelegationGroup]
-    head_variables: tuple[str, ...]
-
-    def explain(self) -> str:
-        """Printable plan (operator tree)."""
-        return self.root.explain()
-
-
 class Planner:
-    """Builds physical plans for rewritings over the registered fragments."""
+    """Builds physical plans for rewritings over the registered fragments.
 
-    def __init__(self, manager: StorageDescriptorManager, distinct: bool = True) -> None:
+    With a ``cost_model``, the physical pass picks the join algorithm (hash
+    vs. bind join) per delegation group from estimated cardinalities; without
+    one the lowering is purely structural, as in the seed planner.
+    """
+
+    def __init__(
+        self,
+        manager: StorageDescriptorManager,
+        distinct: bool = True,
+        cost_model: "CostModel | None" = None,
+    ) -> None:
         self._manager = manager
         self._distinct = distinct
+        self._cost_model = cost_model
 
     # -- public API -----------------------------------------------------------------
+    def logical_plan(
+        self,
+        rewriting: ConjunctiveQuery,
+        bound_parameters: Sequence[Variable] = (),
+    ) -> LogicalPlan:
+        """Translate ``rewriting`` into the logical plan IR."""
+        return build_logical_plan(
+            rewriting,
+            self._manager,
+            bound_parameters=tuple(bound_parameters),
+            distinct=self._distinct,
+        )
+
     def plan(
         self,
         rewriting: ConjunctiveQuery,
         bound_parameters: Sequence[Variable] = (),
     ) -> PhysicalPlan:
-        """Build the physical plan of ``rewriting``."""
-        ordered = order_atoms(
-            rewriting, self._manager, bound_parameters=tuple(bound_parameters)
-        )
-        groups = group_for_delegation(ordered)
-        if not groups:
-            raise PlanningError(f"rewriting {rewriting.name!r} produced no delegation groups")
-
-        root: Operator | None = None
-        parameters: set[Variable] = set(bound_parameters)
-        for group in groups:
-            needs_binding = any(
-                access.requires_binding(parameters) for access in group.accesses
-            )
-            if root is None:
-                if needs_binding:
-                    raise PlanningError(
-                        f"first delegation group of {rewriting.name!r} needs runtime bindings; "
-                        "the atom order should have prevented this"
-                    )
-                root = self._delegated_operator(group)
-            elif needs_binding:
-                root = self._bind_join(root, group)
-            else:
-                root = HashJoin(root, self._delegated_operator(group))
-
-        head_variables = tuple(
-            term.name for term in rewriting.head_terms if isinstance(term, Variable)
-        )
-        projected: Operator = Project(root, head_variables)
-        if self._distinct:
-            projected = Deduplicate(projected)
-        return PhysicalPlan(
-            rewriting=rewriting,
-            root=projected,
-            groups=groups,
-            head_variables=head_variables,
-        )
-
-    # -- delegated requests --------------------------------------------------------------
-    def _delegated_operator(self, group: DelegationGroup) -> Operator:
-        if group.is_single():
-            access = group.accesses[0]
-            request, output, residual = self._scan_request(access)
-            return DelegatedRequest(
-                store=group.store,
-                request=request,
-                output=output,
-                constants=residual,
-                label=access.descriptor.layout.collection,
-            )
-        try:
-            request, output, residual = self._join_request(group)
-        except PlanningError:
-            # The store-side join would clobber a column (two collections expose
-            # the same column name bound to different variables): fall back to
-            # per-fragment delegation joined at the mediator.
-            root: Operator | None = None
-            for access in group.accesses:
-                request, output, residual = self._scan_request(access)
-                operator = DelegatedRequest(
-                    store=group.store,
-                    request=request,
-                    output=output,
-                    constants=residual,
-                    label=access.descriptor.layout.collection,
-                )
-                root = operator if root is None else HashJoin(root, operator)
-            return root
-        return DelegatedRequest(
-            store=group.store,
-            request=request,
-            output=output,
-            constants=residual,
-            label="+".join(a.descriptor.layout.collection for a in group.accesses),
-        )
-
-    def _scan_request(
-        self, access: AtomAccess
-    ) -> tuple[StoreRequest, dict[str, str], dict[str, object]]:
-        """Compile one atom into a scan/lookup request plus its output mapping."""
-        layout = access.descriptor.layout
-        capabilities = access.store.capabilities()
-
-        # A lookup fragment whose key columns are all pinned by constants is a
-        # point access: emit a LookupRequest (key-value stores reject scans).
-        key_columns = access.descriptor.access.key_columns
-        constants_by_column = access.constant_by_column()
-        if (
-            access.descriptor.access.kind == "lookup"
-            and key_columns
-            and all(column in constants_by_column for column in key_columns)
-        ):
-            output = {
-                layout.store_column(column): variable.name
-                for column, variable in access.variable_by_column().items()
-            }
-            residual = {
-                layout.store_column(column): value
-                for column, value in constants_by_column.items()
-                if column not in key_columns
-            }
-            request: StoreRequest = LookupRequest(
-                collection=layout.collection,
-                keys=tuple(constants_by_column[column] for column in key_columns[:1]),
-            )
-            return request, output, residual
-
-        predicates: list[Predicate] = []
-        residual: dict[str, object] = {}
-        for column, value in access.constant_by_column().items():
-            store_column = layout.store_column(column)
-            if capabilities.supports_selection or column in access.input_columns():
-                predicates.append(Predicate(store_column, "=", value))
-            else:
-                residual[store_column] = value
-        output = {
-            layout.store_column(column): variable.name
-            for column, variable in access.variable_by_column().items()
-        }
-        request = ScanRequest(
-            collection=layout.collection,
-            predicates=tuple(predicates),
-            projection=None,
-        )
-        return request, output, residual
-
-    def _join_request(
-        self, group: DelegationGroup
-    ) -> tuple[StoreRequest, dict[str, str], dict[str, object]]:
-        """Compile a multi-atom group into one delegated join request."""
-        requests: list[StoreRequest] = []
-        outputs: list[dict[str, str]] = []
-        residuals: dict[str, object] = {}
-        for access in group.accesses:
-            request, output, residual = self._scan_request(access)
-            requests.append(request)
-            outputs.append(output)
-            residuals.update(residual)
-
-        # Column-name collisions across collections (other than the join
-        # columns) would be clobbered by the store-side merge; fall back to a
-        # mediator join in that case by raising, the caller catches this.
-        merged_output: dict[str, str] = {}
-        for output in outputs:
-            for store_column, variable in output.items():
-                existing = merged_output.get(store_column)
-                if existing is not None and existing != variable:
-                    raise PlanningError(
-                        "store-side join would clobber column "
-                        f"{store_column!r}; delegation not possible"
-                    )
-                merged_output[store_column] = variable
-
-        joined = requests[0]
-        joined_output = dict(outputs[0])
-        for request, output in zip(requests[1:], outputs[1:]):
-            variable_to_column_left = {v: c for c, v in joined_output.items()}
-            on: list[tuple[str, str]] = []
-            for store_column, variable in output.items():
-                left_column = variable_to_column_left.get(variable)
-                if left_column is not None:
-                    on.append((left_column, store_column))
-            if not on:
-                raise PlanningError("delegated join has no shared variables")
-            joined = JoinRequest(left=joined, right=request, on=tuple(on))
-            joined_output.update(output)
-        return joined, merged_output, residuals
-
-    # -- bind joins ----------------------------------------------------------------------
-    def _bind_join(self, left: Operator, group: DelegationGroup) -> Operator:
-        """Probe an access-restricted group once per left binding."""
-        if not group.is_single():
-            raise PlanningError("bind joins are built one access-restricted atom at a time")
-        access = group.accesses[0]
-        layout = access.descriptor.layout
-        input_columns = access.input_columns()
-        lookup_key_columns = access.descriptor.access.key_columns or input_columns[:1]
-
-        # Columns whose value comes from the left side (variables already bound)
-        # and columns fixed by constants in the atom.
-        constants = access.constant_by_column()
-        variables = access.variable_by_column()
-
-        def request_factory(binding: Binding) -> StoreRequest | None:
-            key_values: list[object] = []
-            predicates: list[Predicate] = []
-            for column in input_columns:
-                if column in constants:
-                    value = constants[column]
-                else:
-                    variable = variables.get(column)
-                    if variable is None or variable.name not in binding:
-                        return None
-                    value = binding[variable.name]
-                if column in lookup_key_columns and access.descriptor.access.kind == "lookup":
-                    key_values.append(value)
-                else:
-                    predicates.append(Predicate(layout.store_column(column), "=", value))
-            if access.descriptor.access.kind == "lookup":
-                if not key_values:
-                    return None
-                return LookupRequest(
-                    collection=layout.collection,
-                    keys=tuple(key_values),
-                )
-            # Non-lookup probe: a scan restricted by the bound columns plus the
-            # atom's own constants.
-            for column, value in constants.items():
-                store_column = layout.store_column(column)
-                if all(store_column != p.column for p in predicates):
-                    predicates.append(Predicate(store_column, "=", value))
-            return ScanRequest(collection=layout.collection, predicates=tuple(predicates))
-
-        output = {
-            layout.store_column(column): variable.name
-            for column, variable in variables.items()
-        }
-        # Constants are re-checked on the probe results: lookup requests cannot
-        # carry extra predicates, and double-checking scans is harmless.
-        residual = {
-            layout.store_column(column): value for column, value in constants.items()
-        }
-        return BindJoin(
-            left=left,
-            store=group.store,
-            request_factory=request_factory,
-            output=output,
-            constants=residual,
-            label=layout.collection,
-        )
+        """Build the physical plan of ``rewriting`` (logical pass + lowering)."""
+        logical = self.logical_plan(rewriting, bound_parameters=bound_parameters)
+        return PhysicalPlanner(cost_model=self._cost_model).lower(logical)
