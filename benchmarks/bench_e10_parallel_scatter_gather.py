@@ -1,0 +1,181 @@
+"""E10 — the concurrent scatter-gather runtime and the statistics feedback loop.
+
+Two claims of the parallel-runtime refactor are measured and written to
+``BENCH_e10.json``:
+
+1. **Scatter-gather overlap**: a query fanning out to three stores — each
+   with a simulated per-request service latency, as the real Postgres /
+   MongoDB / Spark backends would have — pays roughly the *max* of the store
+   latencies when executed with ``parallelism >= 3``, instead of their sum on
+   the serial engine.  Target: ≥ 2x wall-clock speedup at parallelism 4.
+2. **Adaptive statistics**: after the data grows behind the catalog's back,
+   the cost model's cardinality estimates are stale; the execution feedback
+   (observed row counts → exponentially-weighted refresh) drives the relative
+   estimation error back down without a manual statistics refresh.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro import Estocada
+from repro.catalog import AccessMethod, StorageDescriptor, StorageLayout
+from repro.core import Atom, ConjunctiveQuery, ViewDefinition
+from repro.datamodel import TableSchema
+from repro.stores import DocumentStore, ParallelStore, RelationalStore
+
+RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_e10.json"
+ITERATIONS = 7
+STORE_LATENCY_SECONDS = 0.03
+PARALLELISM_LEVELS = (1, 2, 4)
+
+
+def _view(name, head, body, columns):
+    return ViewDefinition(name, ConjunctiveQuery(name, head, body), column_names=columns)
+
+
+def _build(users=120, purchases=360, visits=240):
+    """A 3-store deployment: one fragment per store, all with service latency."""
+    est = Estocada()
+    stores = {
+        "pg": RelationalStore("pg", latency=STORE_LATENCY_SECONDS),
+        "mongo": DocumentStore("mongo", latency=STORE_LATENCY_SECONDS),
+        "spark": ParallelStore("spark", latency=STORE_LATENCY_SECONDS),
+    }
+    for name, store in stores.items():
+        est.register_store(name, store)
+    est.register_relational_dataset(
+        "shop",
+        [
+            TableSchema("users", ("uid", "name")),
+            TableSchema("purchases", ("uid", "sku")),
+            TableSchema("visits", ("uid", "duration_ms")),
+        ],
+    )
+    est.register_fragment(
+        StorageDescriptor(
+            "F_users", "shop", "pg",
+            _view("F_users", ["?u", "?n"], [Atom("users", ["?u", "?n"])], ("uid", "name")),
+            StorageLayout("users"), AccessMethod("scan"),
+        ),
+        rows=[{"uid": i, "name": f"user{i}"} for i in range(users)],
+    )
+    est.register_fragment(
+        StorageDescriptor(
+            "F_purchases", "shop", "mongo",
+            _view("F_purchases", ["?u", "?s"], [Atom("purchases", ["?u", "?s"])], ("uid", "sku")),
+            StorageLayout("purchases"), AccessMethod("scan"),
+        ),
+        rows=[{"uid": i % users, "sku": f"sku{i % 97}"} for i in range(purchases)],
+    )
+    est.register_fragment(
+        StorageDescriptor(
+            "F_visits", "shop", "spark",
+            _view("F_visits", ["?u", "?d"], [Atom("visits", ["?u", "?d"])], ("uid", "duration_ms")),
+            StorageLayout("visits"), AccessMethod("scan"),
+        ),
+        rows=[{"uid": i % users, "duration_ms": 10 * i} for i in range(visits)],
+    )
+    return est, stores
+
+
+def _fanout_query():
+    """users ⋈ purchases ⋈ visits: one delegated scan per store."""
+    return ConjunctiveQuery(
+        "fanout",
+        ["?u", "?s", "?d"],
+        [
+            Atom("users", ["?u", "?n"]),
+            Atom("purchases", ["?u", "?s"]),
+            Atom("visits", ["?u", "?d"]),
+        ],
+    )
+
+
+def test_e10_report(capsys):
+    est, stores = _build()
+    query = _fanout_query()
+    reference = est.query(query, parallelism=1)  # warm the plan cache
+
+    runs = {}
+    for level in PARALLELISM_LEVELS:
+        trajectory = []
+        for _ in range(ITERATIONS):
+            started = time.perf_counter()
+            result = est.query(query, parallelism=level)
+            trajectory.append(time.perf_counter() - started)
+        assert sorted(map(repr, result.rows)) == sorted(map(repr, reference.rows))
+        runs[level] = {
+            "mean_seconds": statistics.mean(trajectory),
+            "median_seconds": statistics.median(trajectory),
+            "trajectory_seconds": trajectory,
+            "max_concurrent_requests": result.max_concurrent_requests,
+        }
+    speedup = runs[1]["median_seconds"] / runs[4]["median_seconds"]
+
+    # -- feedback: estimation accuracy before/after observations ------------------
+    est_fb, stores_fb = _build(users=40, purchases=60, visits=50)
+    for store in stores_fb.values():
+        store.set_simulated_latency(0.0)
+    feedback_query = _fanout_query()
+    est_fb.query(feedback_query)  # compute base statistics + first observations
+    # The purchases collection grows 10x behind the catalog's back.
+    true_rows = 600
+    stores_fb["mongo"].insert(
+        "purchases", [{"uid": i % 40, "sku": f"sku{i % 97}"} for i in range(60, true_rows)]
+    )
+    error_trajectory = []
+    for _ in range(8):
+        estimate = est_fb.cost_model.estimated_cardinality("F_purchases")
+        error_trajectory.append(abs(estimate - true_rows) / true_rows)
+        est_fb.query(feedback_query)
+    final_estimate = est_fb.cost_model.estimated_cardinality("F_purchases")
+
+    report = {
+        "benchmark": "e10_parallel_scatter_gather",
+        "iterations": ITERATIONS,
+        "store_latency_seconds": STORE_LATENCY_SECONDS,
+        "parallelism": {str(level): run for level, run in runs.items()},
+        "speedup_p4_over_p1": speedup,
+        "result_rows": len(reference.rows),
+        "feedback": {
+            "fragment": "F_purchases",
+            "true_cardinality": true_rows,
+            "relative_error_trajectory": error_trajectory,
+            "final_estimate": final_estimate,
+            "cache_stats": dict(est_fb.cache_stats()),
+        },
+    }
+    RESULT_FILE.write_text(json.dumps(report, indent=2) + "\n")
+
+    with capsys.disabled():
+        print("\n[E10] concurrent scatter-gather (3-store fan-out, "
+              f"{STORE_LATENCY_SECONDS * 1e3:.0f} ms/request simulated latency)")
+        for level in PARALLELISM_LEVELS:
+            run = runs[level]
+            print(f"  parallelism {level}:  {run['median_seconds'] * 1e3:8.3f} ms/query"
+                  f"  (max concurrent requests: {run['max_concurrent_requests']})")
+        print(f"  speedup p4/p1:   {speedup:8.1f}x")
+        print(f"  estimate error:  {error_trajectory[0]:.2f} -> {error_trajectory[-1]:.2f} "
+              f"(estimate {final_estimate} vs true {true_rows})")
+        print(f"  report written to {RESULT_FILE.name}")
+
+    # Acceptance: ≥ 2x wall-clock at parallelism 4 on the 3-store fan-out.
+    assert speedup >= 2.0, f"scatter-gather speedup {speedup:.2f}x below 2x"
+    # The serial fallback answers are identical, checked above; the feedback
+    # loop must at least halve the relative estimation error.
+    assert error_trajectory[-1] <= error_trajectory[0] / 2
+
+
+def test_e10_parallelism_one_matches_serial_engine():
+    """parallelism=1 goes down the exact pre-refactor serial code path."""
+    est, _ = _build(users=30, purchases=50, visits=40)
+    query = _fanout_query()
+    serial = est.query(query, parallelism=1)
+    assert serial.parallelism == 1
+    assert serial.max_concurrent_requests == 1
+    parallel = est.query(query, parallelism=4)
+    assert sorted(map(repr, parallel.rows)) == sorted(map(repr, serial.rows))

@@ -10,9 +10,7 @@ This is also the ablation for "cost-based choice vs. first-found rewriting".
 from __future__ import annotations
 
 from repro.core import Atom, ConjunctiveQuery, Constant
-from repro.cost import CostModel, PlanChooser
 from repro.runtime import ExecutionEngine
-from repro.translation import Planner
 
 from conftest import (
     add_materialized_user_product_fragment,

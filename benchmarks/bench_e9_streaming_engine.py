@@ -68,7 +68,7 @@ def _time_queries(est, query, iterations, cold):
 
 def test_e9_report(market_data, capsys):
     est = _build(market_data)
-    query = _query(12)
+    query = _query(36)
 
     # Warm-up: materialize store caches/statistics on both paths equally.
     est.query(query)
@@ -130,12 +130,10 @@ def test_e9_report(market_data, capsys):
 
 def test_e9_batch_size_invariance(market_data):
     """Batch size must not change answers, only the batch count."""
-    from repro.cost import CostModel, PlanChooser
     from repro.runtime import ExecutionEngine
-    from repro.translation import Planner
 
     est = _build(market_data)
-    explanation = est.explain(_query(12))
+    explanation = est.explain(_query(36))
     root = explanation.chosen.plan.root
     reference = None
     batch_counts = {}

@@ -21,11 +21,8 @@ from repro.core.query import ConjunctiveQuery
 from repro.core.rewriting import Rewriter
 from repro.core.terms import Variable
 from repro.core.views import ViewDefinition
-from repro.cost.cardinality import CardinalityEstimator
 from repro.cost.cost_model import CostModel
 from repro.errors import AdvisorError
-from repro.translation.grouping import AtomAccess
-from repro.translation.planner import Planner
 
 __all__ = ["Recommendation", "AdvisorReport", "StorageAdvisor"]
 

@@ -17,7 +17,7 @@ with the store kind each candidate is best suited to:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.query import ConjunctiveQuery

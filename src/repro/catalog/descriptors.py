@@ -17,7 +17,7 @@ residing in store ``Sk`` is described by a storage descriptor
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from repro.core.binding_patterns import AccessPattern
 from repro.core.views import ViewDefinition

@@ -4,6 +4,15 @@ ESTOCADA "estimates the cardinality of [a delegated query's] result, based on
 statistics it gathers and stores on the data of each fragment and using
 database textbook formulas".  :class:`StatisticsCatalog` collects and caches
 those statistics from the stores via the common store interface.
+
+The catalog also closes the runtime → planner feedback loop: the execution
+engine reports the row count of every fully-drained, unrestricted fragment
+scan, and :meth:`StatisticsCatalog.record_observation` folds those observed
+cardinalities into an exponentially-weighted moving estimate that
+:meth:`StatisticsCatalog.get` returns in place of the stale base cardinality.
+The returned *drift* (relative change against the estimate the planner was
+using) lets the facade invalidate cached plans whose cost estimates no
+longer reflect reality.
 """
 
 from __future__ import annotations
@@ -14,7 +23,10 @@ from typing import Mapping
 from repro.catalog.manager import StorageDescriptorManager
 from repro.errors import CatalogError
 
-__all__ = ["FragmentStatistics", "StatisticsCatalog"]
+__all__ = ["FragmentStatistics", "StatisticsCatalog", "OBSERVATION_SMOOTHING"]
+
+OBSERVATION_SMOOTHING = 0.4
+"""Weight of the newest observation in the exponentially-weighted estimate."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -44,13 +56,52 @@ class StatisticsCatalog:
     def __init__(self, manager: StorageDescriptorManager) -> None:
         self._manager = manager
         self._cache: dict[str, FragmentStatistics] = {}
+        self._observed: dict[str, float] = {}
 
     def invalidate(self, fragment: str | None = None) -> None:
-        """Drop cached statistics (for one fragment or all of them)."""
+        """Drop cached statistics and observations (one fragment or all)."""
         if fragment is None:
             self._cache.clear()
+            self._observed.clear()
         else:
             self._cache.pop(fragment, None)
+            self._observed.pop(fragment, None)
+
+    # -- the runtime feedback loop --------------------------------------------------
+    def observed_cardinality(self, fragment: str) -> float | None:
+        """The current exponentially-weighted observed cardinality, if any."""
+        return self._observed.get(fragment)
+
+    def record_observation(
+        self, fragment: str, observed_rows: int, smoothing: float = OBSERVATION_SMOOTHING
+    ) -> float | None:
+        """Fold one observed cardinality into the fragment's estimate.
+
+        ``observed_rows`` is the row count of a fully-drained, unrestricted
+        scan of the fragment — a direct measurement of its cardinality.  The
+        estimate is refreshed as ``previous + smoothing * (observed -
+        previous)`` (the first observation replaces the base estimate
+        outright).  Returns the **drift**: the relative change of the
+        estimate against the value the planner was using before this
+        observation, or ``None`` when no prior estimate exists to compare
+        against.  Repeated consistent observations converge, so drift decays
+        to zero once the estimate has caught up.
+        """
+        observed = float(max(0, observed_rows))
+        previous = self._observed.get(fragment)
+        if previous is None:
+            try:
+                reference = float(self.get(fragment).cardinality)
+            except CatalogError:
+                reference = None
+            refreshed = observed
+        else:
+            reference = previous
+            refreshed = previous + smoothing * (observed - previous)
+        self._observed[fragment] = refreshed
+        if reference is None:
+            return None
+        return abs(refreshed - reference) / max(reference, 1.0)
 
     def refresh(self, fragment: str) -> FragmentStatistics:
         """Recompute and cache the statistics of one fragment."""
@@ -91,8 +142,28 @@ class StatisticsCatalog:
         return statistics
 
     def get(self, fragment: str) -> FragmentStatistics:
-        """Statistics of ``fragment`` (computed on first access)."""
+        """Statistics of ``fragment`` (computed on first access).
+
+        When runtime observations exist for the fragment, the returned
+        cardinality is the exponentially-weighted observed estimate instead
+        of the (possibly stale) base statistic; per-column distinct counts
+        are capped at the refreshed cardinality.
+        """
         cached = self._cache.get(fragment)
-        if cached is not None:
+        if cached is None:
+            cached = self.refresh(fragment)
+        observed = self._observed.get(fragment)
+        if observed is None:
             return cached
-        return self.refresh(fragment)
+        cardinality = max(1, round(observed))
+        if cardinality == cached.cardinality:
+            return cached
+        return FragmentStatistics(
+            fragment=fragment,
+            cardinality=cardinality,
+            distinct_values={
+                column: min(count, cardinality)
+                for column, count in dict(cached.distinct_values).items()
+            },
+            indexed_columns=cached.indexed_columns,
+        )

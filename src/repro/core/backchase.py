@@ -20,7 +20,7 @@ from repro.core.chase import ChaseConfig
 from repro.core.constraints import Constraint, ConstraintSet
 from repro.core.containment import is_equivalent_under_constraints
 from repro.core.query import ConjunctiveQuery
-from repro.core.terms import Atom, Constant, Variable
+from repro.core.terms import Atom, Variable
 from repro.core.universal_plan import UniversalPlan, chase_query, thaw_atoms, thaw_term
 from repro.core.views import ViewDefinition, views_constraint_set
 from repro.errors import RewritingError

@@ -31,7 +31,7 @@ from typing import Iterable, Mapping
 from repro.core.constraints import EGD, TGD, Constraint, ConstraintSet
 from repro.core.homomorphism import InstanceIndex, find_homomorphism, iterate_homomorphisms
 from repro.core.provenance import ProvenanceFormula
-from repro.core.terms import Atom, Constant, Substitution, Term, Variable
+from repro.core.terms import Atom, Constant, Substitution, Term
 from repro.errors import ChaseError, ChaseNonTerminationError
 
 __all__ = ["ChaseResult", "ChaseConfig", "chase", "ChaseFailure", "provenance_chase", "ProvenanceChaseResult"]

@@ -18,9 +18,9 @@ fragment layout and offers the indexing used by the chase.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterable, Iterator, Sequence
 
-from repro.core.terms import Atom, Substitution, Variable
+from repro.core.terms import Atom, Variable
 from repro.errors import PivotModelError
 
 __all__ = ["TGD", "EGD", "Constraint", "ConstraintSet", "key_constraint", "functional_dependency", "inclusion_dependency"]
@@ -155,7 +155,7 @@ class EGD:
 
     def __repr__(self) -> str:
         body = ", ".join(repr(a) for a in self.body)
-        eqs = ", ".join(f"{l} = {r}" for l, r in self.equalities)
+        eqs = ", ".join(f"{left} = {right}" for left, right in self.equalities)
         return f"[{self.name}] {body} -> {eqs}"
 
 

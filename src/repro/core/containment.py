@@ -19,7 +19,7 @@ from repro.core.chase import ChaseConfig, ChaseFailure, chase
 from repro.core.constraints import Constraint, ConstraintSet
 from repro.core.homomorphism import InstanceIndex, find_homomorphism
 from repro.core.query import ConjunctiveQuery
-from repro.core.terms import Constant, Substitution, Term, Variable
+from repro.core.terms import Constant, Substitution, Term
 from repro.errors import PivotModelError
 
 __all__ = [

@@ -37,7 +37,7 @@ from repro.core.containment import is_equivalent_under_constraints
 from repro.core.homomorphism import iterate_homomorphisms
 from repro.core.provenance import ProvenanceFormula
 from repro.core.query import ConjunctiveQuery
-from repro.core.terms import Atom, Constant, Substitution, Term, Variable
+from repro.core.terms import Atom, Constant, Substitution, Term
 from repro.core.universal_plan import UniversalPlan, chase_query
 from repro.core.backchase import candidate_to_query
 from repro.core.views import ViewDefinition, views_constraint_set

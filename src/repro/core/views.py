@@ -18,8 +18,8 @@ For the chase & backchase, each view contributes two TGDs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Iterable
 
 from repro.core.binding_patterns import AccessPattern
 from repro.core.constraints import TGD, ConstraintSet

@@ -26,17 +26,35 @@ from repro.cost.cardinality import CardinalityEstimator
 from repro.errors import CostModelError
 from repro.translation.grouping import AtomAccess, DelegationGroup
 
-__all__ = ["StoreCostProfile", "DEFAULT_PROFILES", "PlanCostEstimate", "CostModel"]
+__all__ = [
+    "StoreCostProfile",
+    "DEFAULT_PROFILES",
+    "LATENCY_COST_PER_SECOND",
+    "PlanCostEstimate",
+    "CostModel",
+]
 
 
 @dataclass(frozen=True, slots=True)
 class StoreCostProfile:
-    """Cost constants of one store kind (arbitrary units per row / per call)."""
+    """Cost constants of one store kind (arbitrary units per row / per call).
+
+    ``request_latency_seconds`` mirrors the simulated per-request service
+    latency of the store (0 by default): each request charged to a store adds
+    ``request_latency_seconds * LATENCY_COST_PER_SECOND`` cost units, so
+    per-probe plans against a slow store lose to single-scan plans.
+    """
 
     scan_row_cost: float
     lookup_cost: float
     request_overhead: float
     parallelism: float = 1.0
+    request_latency_seconds: float = 0.0
+
+    @property
+    def request_cost(self) -> float:
+        """Fixed cost of issuing one request (overhead + simulated latency)."""
+        return self.request_overhead + self.request_latency_seconds * LATENCY_COST_PER_SECOND
 
 
 DEFAULT_PROFILES: Mapping[str, StoreCostProfile] = {
@@ -48,6 +66,9 @@ DEFAULT_PROFILES: Mapping[str, StoreCostProfile] = {
 }
 
 _RUNTIME_ROW_COST = 0.8
+
+LATENCY_COST_PER_SECOND = 1000.0
+"""Cost units charged per second of simulated per-request store latency."""
 
 
 @dataclass(slots=True)
@@ -92,6 +113,22 @@ class CostModel:
         """The cardinality estimator used by this cost model."""
         return self._estimator
 
+    # -- runtime feedback --------------------------------------------------------------
+    def record_observation(self, fragment: str, observed_rows: int) -> float | None:
+        """Feed one observed fragment cardinality back into the statistics.
+
+        The statistics catalog refreshes its exponentially-weighted estimate;
+        subsequent :meth:`estimate_groups` / :meth:`join_algorithm` calls use
+        the refreshed value.  Returns the drift of the estimate relative to
+        what the planner was using (see
+        :meth:`repro.catalog.statistics.StatisticsCatalog.record_observation`).
+        """
+        return self._statistics.record_observation(fragment, observed_rows)
+
+    def estimated_cardinality(self, fragment: str) -> int:
+        """The cardinality the planner currently assumes for ``fragment``."""
+        return self._statistics.get(fragment).cardinality
+
     # -- group costs -------------------------------------------------------------------
     def _access_cost(self, access: AtomAccess, left_rows: float, bound: set[Variable]) -> tuple[float, float]:
         """Cost and output cardinality of accessing one atom given ``left_rows``.
@@ -122,12 +159,17 @@ class CostModel:
         key_columns = set(access.descriptor.access.key_columns) | set(access.input_columns())
         constant_on_key = bool(key_columns & set(constant_columns))
 
+        per_probe_latency = profile.request_latency_seconds * LATENCY_COST_PER_SECOND
+
         if probe_columns and (requires_key or has_index):
-            # BindJoin / index nested loop: one lookup per left row.
+            # BindJoin / index nested loop: one lookup per left row (each
+            # probe is its own request, so each pays the store's latency).
             per_probe_rows = stats.cardinality
             for column in probe_columns + constant_columns:
                 per_probe_rows *= stats.selectivity_of_equality(column)
-            cost = left_rows * (profile.lookup_cost + profile.request_overhead * 0.1)
+            cost = left_rows * (
+                profile.lookup_cost + profile.request_overhead * 0.1 + per_probe_latency
+            )
             output = left_rows * max(per_probe_rows, 0.0)
             return cost, output
 
@@ -136,7 +178,7 @@ class CostModel:
             per_lookup_rows = stats.cardinality
             for column in constant_columns:
                 per_lookup_rows *= stats.selectivity_of_equality(column)
-            cost = profile.lookup_cost + profile.request_overhead
+            cost = profile.lookup_cost + profile.request_cost
             output = max(per_lookup_rows, 0.0)
             if left_rows:
                 cost += _RUNTIME_ROW_COST * (left_rows + output)
@@ -147,7 +189,7 @@ class CostModel:
         scanned = stats.cardinality
         if has_index and constant_columns:
             scanned = max(estimate.estimated_rows, 1.0)
-        scan_cost = profile.request_overhead + (scanned * profile.scan_row_cost) / max(
+        scan_cost = profile.request_cost + (scanned * profile.scan_row_cost) / max(
             profile.parallelism, 1.0
         )
         if left_rows:
@@ -180,16 +222,19 @@ class CostModel:
         estimate = self._estimator.atom_estimate(access)
         left_rows = max(left_rows, 1.0)
 
-        probe_cost = left_rows * (profile.lookup_cost + profile.request_overhead * 0.1)
+        per_probe_latency = profile.request_latency_seconds * LATENCY_COST_PER_SECOND
+        probe_cost = left_rows * (
+            profile.lookup_cost + profile.request_overhead * 0.1 + per_probe_latency
+        )
         if not any(column in stats.indexed_columns for column in probe_columns):
             # Unindexed probes degenerate to one filtered scan per left row.
             probe_cost = left_rows * (
-                profile.request_overhead
+                profile.request_cost
                 + (stats.cardinality * profile.scan_row_cost)
                 / max(profile.parallelism, 1.0)
             )
         scan_cost = (
-            profile.request_overhead
+            profile.request_cost
             + (stats.cardinality * profile.scan_row_cost) / max(profile.parallelism, 1.0)
             + _RUNTIME_ROW_COST * (left_rows + estimate.estimated_rows)
         )

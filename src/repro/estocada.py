@@ -73,6 +73,8 @@ class PlanCache:
     mutation makes every earlier entry unreachable; ``register_fragment`` /
     ``drop_fragment`` additionally clear the cache eagerly to free memory.
     A hit skips the whole PACB chase/backchase pipeline and the planner.
+    Entries whose plans rely on a fragment whose observed statistics have
+    drifted are dropped selectively via :meth:`invalidate_fragment`.
     """
 
     def __init__(self, capacity: int = 128) -> None:
@@ -81,6 +83,7 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def get(self, key: tuple) -> Explanation | None:
         """The cached explanation for ``key``, refreshing its recency."""
@@ -106,6 +109,29 @@ class PlanCache:
         """Drop every entry (counters are preserved)."""
         self._entries.clear()
 
+    def invalidate_fragment(self, fragment: str) -> int:
+        """Drop every entry whose candidate plans touch ``fragment``.
+
+        Called when the fragment's observed statistics drift past the
+        threshold: the cached cost-based choices (plan ranking, hash-vs-bind
+        decisions) were made from estimates that no longer hold.  Returns the
+        number of entries dropped.
+        """
+        stale = [
+            key
+            for key, explanation in self._entries.items()
+            if any(
+                access.descriptor.fragment_name == fragment
+                for ranked in explanation.ranked_plans
+                for group in ranked.plan.groups
+                for access in group.accesses
+            )
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.invalidations += len(stale)
+        return len(stale)
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -117,6 +143,7 @@ class PlanCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
         }
 
 
@@ -129,16 +156,19 @@ class Estocada:
         chase_config: ChaseConfig | None = None,
         cost_profiles: Mapping[str, StoreCostProfile] | None = None,
         plan_cache_size: int = 128,
+        parallelism: int | None = None,
+        drift_threshold: float = 0.5,
     ) -> None:
         self._manager = StorageDescriptorManager()
         self._statistics = StatisticsCatalog(self._manager)
         self._cost_model = CostModel(self._statistics, profiles=cost_profiles)
-        self._engine = ExecutionEngine()
+        self._engine = ExecutionEngine(parallelism=parallelism)
         self._algorithm = algorithm
         self._chase_config = chase_config or ChaseConfig()
         self._relational_schemas: dict[str, RelationalSchema] = {}
         self._document_collections: dict[str, tuple[str, ...]] = {}
         self._plan_cache = PlanCache(plan_cache_size)
+        self._drift_threshold = max(0.0, drift_threshold)
 
     # -- registration ------------------------------------------------------------------
     @property
@@ -155,6 +185,18 @@ class Estocada:
     def cost_model(self) -> CostModel:
         """The cost model used to rank rewritings."""
         return self._cost_model
+
+    @property
+    def parallelism(self) -> int:
+        """The default executor width queries run with (1 = serial)."""
+        return self._engine.parallelism
+
+    def executor_config(self) -> Mapping[str, object]:
+        """JSON-friendly executor configuration (width, drift threshold)."""
+        return {
+            "parallelism": self._engine.parallelism,
+            "drift_threshold": self._drift_threshold,
+        }
 
     def register_store(self, name: str, store: Store) -> None:
         """Register an underlying DMS under ``name``."""
@@ -353,11 +395,14 @@ class Estocada:
         query: ConjunctiveQuery | str | DocumentQuery,
         dataset: str | None = None,
         bound_parameters: Sequence[Variable] = (),
+        parallelism: int | None = None,
     ) -> QueryResult:
         """Answer a query over the registered fragments (demo step 3).
 
         ``query`` may be a pivot conjunctive query, SQL text (``dataset`` must
         name a relational dataset), or a :class:`DocumentQuery`.
+        ``parallelism`` overrides the instance-wide executor width for this
+        query (1 forces serial execution).
         """
         pivot_query, output_names, residual, aggregation, extras = self._to_pivot(query, dataset)
         cache_key = self._plan_cache_key(pivot_query, bound_parameters)
@@ -374,14 +419,30 @@ class Estocada:
             )
         root: Operator = explanation.chosen.plan.root
         root = self._apply_residual(root, pivot_query, output_names, residual, aggregation, extras)
-        result = self._engine.execute(root)
+        result = self._engine.execute(root, parallelism=parallelism)
         result.cache_hit = cache_hit
         result.plan_description = (
             explanation.plan_text()
             + f"\n-- plan cache: {'hit' if cache_hit else 'miss'}"
             + f", batches: {result.batches}"
+            + f", parallelism: {result.parallelism}"
         )
+        self._absorb_observations(result)
         return result
+
+    def _absorb_observations(self, result: QueryResult) -> None:
+        """Close the runtime → planner loop with the query's observed cardinalities.
+
+        Every fully-drained, unrestricted fragment scan of the execution
+        reported its row count; each is folded into the statistics catalog's
+        exponentially-weighted estimate.  When a fragment's estimate drifts
+        past the threshold, cached plans that relied on it are invalidated so
+        the next query re-plans against the refreshed statistics.
+        """
+        for fragment, observed_rows in result.observed_cardinalities.items():
+            drift = self._cost_model.record_observation(fragment, observed_rows)
+            if drift is not None and drift > self._drift_threshold:
+                self._plan_cache.invalidate_fragment(fragment)
 
     # -- helpers ---------------------------------------------------------------------------------
     def _to_pivot(

@@ -21,7 +21,7 @@ a column with a literal or another column using ``= != < <= > >=``.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.errors import ParseError

@@ -9,7 +9,7 @@ apply on top of the rewritten plan.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.core.query import ConjunctiveQuery
@@ -17,11 +17,9 @@ from repro.core.terms import Atom, Constant, Term, Variable
 from repro.datamodel.relational import RelationalSchema
 from repro.errors import TranslationError
 from repro.languages.sql.parser import (
-    AggregateItem,
     ColumnRef,
     Condition,
     Literal,
-    SelectItem,
     SelectStatement,
     parse_select,
 )

@@ -11,7 +11,13 @@ Lowering decides *how* each logical step executes:
   the two is picked from the estimated left cardinality and the store's cost
   profile (per-probe lookups beat a full scan when the left side is small);
 * projection and duplicate elimination map onto the streaming
-  :class:`~repro.runtime.operators.Project` / ``Deduplicate`` operators.
+  :class:`~repro.runtime.operators.Project` / ``Deduplicate`` operators;
+* every delegated store request — the independent subtrees of the plan:
+  distinct delegation groups, the build and probe sides of hash joins — is
+  wrapped in an :class:`~repro.runtime.parallel.Exchange` node, the explicit
+  marker the engine uses to overlap store requests when executing with
+  ``parallelism > 1`` (with ``parallelism == 1`` an Exchange is a pure
+  pass-through, so the serial plan semantics are unchanged).
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ from repro.runtime.operators import (
     Operator,
     Project,
 )
+from repro.runtime.parallel import Exchange
 from repro.runtime.values import Binding
 from repro.stores.base import JoinRequest, LookupRequest, Predicate, ScanRequest, StoreRequest
 from repro.translation.grouping import AtomAccess, DelegationGroup
@@ -158,16 +165,24 @@ class PhysicalPlanner:
 
     # -- delegated requests --------------------------------------------------------------
     def _delegated_operator(self, group: DelegationGroup) -> Operator:
+        """One delegation group as an Exchange-wrapped store request subtree.
+
+        Each delegated request is an independent leaf of the plan — exactly
+        the unit the scatter-gather runtime overlaps — so every one is marked
+        with an :class:`Exchange` here.
+        """
         if group.is_single():
             access = group.accesses[0]
             request, output, residual = self._scan_request(access)
-            return DelegatedRequest(
+            operator = DelegatedRequest(
                 store=group.store,
                 request=request,
                 output=output,
                 constants=residual,
                 label=access.descriptor.layout.collection,
+                fragment=access.descriptor.fragment_name,
             )
+            return Exchange(operator, label=access.descriptor.fragment_name)
         try:
             request, output, residual = self._join_request(group)
         except PlanningError:
@@ -177,21 +192,29 @@ class PhysicalPlanner:
             root: Operator | None = None
             for access in group.accesses:
                 request, output, residual = self._scan_request(access)
-                operator = DelegatedRequest(
-                    store=group.store,
-                    request=request,
-                    output=output,
-                    constants=residual,
-                    label=access.descriptor.layout.collection,
+                operator = Exchange(
+                    DelegatedRequest(
+                        store=group.store,
+                        request=request,
+                        output=output,
+                        constants=residual,
+                        label=access.descriptor.layout.collection,
+                        fragment=access.descriptor.fragment_name,
+                    ),
+                    label=access.descriptor.fragment_name,
                 )
                 root = operator if root is None else HashJoin(root, operator)
             return root
-        return DelegatedRequest(
-            store=group.store,
-            request=request,
-            output=output,
-            constants=residual,
-            label="+".join(a.descriptor.layout.collection for a in group.accesses),
+        label = "+".join(a.descriptor.layout.collection for a in group.accesses)
+        return Exchange(
+            DelegatedRequest(
+                store=group.store,
+                request=request,
+                output=output,
+                constants=residual,
+                label=label,
+            ),
+            label=label,
         )
 
     def _scan_request(

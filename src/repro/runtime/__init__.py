@@ -1,10 +1,11 @@
 """Lightweight nested-relational execution engine (the ESTOCADA runtime)."""
 
 from repro.runtime.batch import DEFAULT_BATCH_SIZE, BatchBuilder, RowBatch, batches_from_bindings
-from repro.runtime.engine import ExecutionEngine, QueryResult, StoreBreakdown
+from repro.runtime.engine import ExecutionEngine, QueryResult, StoreBreakdown, default_parallelism
 from repro.runtime.operators import (
     Aggregate,
     BindJoin,
+    ConcurrencyTracker,
     Deduplicate,
     DelegatedRequest,
     ExecutionContext,
@@ -14,18 +15,24 @@ from repro.runtime.operators import (
     Operator,
     Project,
 )
+from repro.runtime.parallel import DEFAULT_QUEUE_DEPTH, Exchange, ExecutorPool
 from repro.runtime.values import Binding, merge_bindings, nest_rows, project_binding
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
+    "DEFAULT_QUEUE_DEPTH",
     "RowBatch",
     "BatchBuilder",
     "batches_from_bindings",
+    "default_parallelism",
     "ExecutionEngine",
+    "ExecutorPool",
+    "Exchange",
     "QueryResult",
     "StoreBreakdown",
     "Operator",
     "ExecutionContext",
+    "ConcurrencyTracker",
     "DelegatedRequest",
     "BindJoin",
     "HashJoin",

@@ -6,20 +6,39 @@ operations (BindJoin, mediator-side joins, residual filters, projection and
 nested construction).  The :class:`QueryResult` carries the answer rows plus a
 performance breakdown *split across the underlying DMSs and the runtime*,
 which is exactly what the demo's step 3 displays.
+
+With ``parallelism > 1`` the engine runs the plan's :class:`Exchange`
+subtrees concurrently on a bounded :class:`~repro.runtime.parallel.ExecutorPool`:
+every Exchange is pre-started before the root is drained, so independent
+delegated store requests overlap and a multi-store fan-out pays roughly the
+*max* of the store latencies instead of their sum.  ``parallelism == 1`` is a
+strict serial fallback — Exchanges are pass-throughs and execution is
+identical to the pre-parallel engine.  The default width comes from the
+``REPRO_PARALLELISM`` environment variable (1 when unset).
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from repro.runtime.batch import DEFAULT_BATCH_SIZE
 from repro.runtime.operators import ExecutionContext, Operator
+from repro.runtime.parallel import Exchange, ExecutorPool
 from repro.runtime.values import Binding
-from repro.stores.base import StoreMetrics
 
-__all__ = ["StoreBreakdown", "QueryResult", "ExecutionEngine"]
+__all__ = ["StoreBreakdown", "QueryResult", "ExecutionEngine", "default_parallelism"]
+
+
+def default_parallelism() -> int:
+    """The process-wide default executor width (``REPRO_PARALLELISM``, else 1)."""
+    raw = os.environ.get("REPRO_PARALLELISM", "").strip()
+    try:
+        return max(1, int(raw)) if raw else 1
+    except ValueError:
+        return 1
 
 
 @dataclass(slots=True)
@@ -45,6 +64,9 @@ class QueryResult:
     plan_description: str = ""
     batches: int = 0
     cache_hit: bool = False
+    parallelism: int = 1
+    max_concurrent_requests: int = 0
+    observed_cardinalities: dict[str, int] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -68,6 +90,8 @@ class QueryResult:
             "runtime_seconds": self.runtime_time(),
             "batches": self.batches,
             "cache_hit": self.cache_hit,
+            "parallelism": self.parallelism,
+            "max_concurrent_requests": self.max_concurrent_requests,
             "stores": {
                 name: {
                     "requests": breakdown.requests,
@@ -86,29 +110,77 @@ class ExecutionEngine:
 
     The plan's batch stream is drained here — the *only* place where the full
     result is materialized — while every operator above the stores streams
-    :class:`~repro.runtime.batch.RowBatch` objects.
+    :class:`~repro.runtime.batch.RowBatch` objects.  ``parallelism`` sets the
+    default executor width for :meth:`execute` (overridable per call); pools
+    are created lazily per width and reused across executions.
     """
 
-    def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+    def __init__(
+        self, batch_size: int = DEFAULT_BATCH_SIZE, parallelism: int | None = None
+    ) -> None:
         self._batch_size = max(1, batch_size)
+        self._parallelism = (
+            default_parallelism() if parallelism is None else max(1, parallelism)
+        )
+        self._pools: dict[int, ExecutorPool] = {}
+
+    @property
+    def parallelism(self) -> int:
+        """The engine's default executor width."""
+        return self._parallelism
+
+    def _pool(self, width: int) -> ExecutorPool:
+        pool = self._pools.get(width)
+        if pool is None:
+            pool = ExecutorPool(width)
+            self._pools[width] = pool
+        return pool
+
+    def close(self) -> None:
+        """Shut down every executor pool this engine created."""
+        for pool in self._pools.values():
+            pool.close()
+        self._pools.clear()
+
+    @staticmethod
+    def _prestart_exchanges(plan: Operator, context: ExecutionContext) -> None:
+        """Kick off every Exchange so independent store requests overlap."""
+        stack = [plan]
+        while stack:
+            operator = stack.pop()
+            if isinstance(operator, Exchange):
+                operator.start(context)
+            stack.extend(operator.children())
 
     def execute(
         self,
         plan: Operator,
         parameters: Mapping[str, object] | None = None,
         batch_size: int | None = None,
+        parallelism: int | None = None,
     ) -> QueryResult:
         """Run ``plan`` and return its result with the performance breakdown."""
+        width = self._parallelism if parallelism is None else max(1, parallelism)
         context = ExecutionContext(
             parameters=dict(parameters or {}),
             batch_size=batch_size or self._batch_size,
         )
+        if width > 1:
+            context.pool = self._pool(width)
         started = time.perf_counter()
         rows: list[Binding] = []
         batch_count = 0
-        for batch in plan.batches(context):
-            batch_count += 1
-            rows.extend(batch.iter_bindings())
+        try:
+            if context.pool is not None:
+                self._prestart_exchanges(plan, context)
+            for batch in plan.batches(context):
+                batch_count += 1
+                rows.extend(batch.iter_bindings())
+        finally:
+            # Normal completion, LIMIT early-exit and errors all funnel here:
+            # cancel every Exchange worker and wait until each has closed its
+            # child pipeline (finalizing store streams) and merged metrics.
+            context.shutdown_exchanges()
         elapsed = time.perf_counter() - started
 
         breakdown: dict[str, StoreBreakdown] = {}
@@ -120,6 +192,10 @@ class ExecutionEngine:
             entry.index_lookups += metrics.index_lookups
             entry.elapsed_seconds += metrics.elapsed_seconds
 
+        observed: dict[str, int] = {}
+        for fragment, observed_rows in context.observations:
+            observed[fragment] = observed_rows
+
         return QueryResult(
             rows=rows,
             elapsed_seconds=elapsed,
@@ -127,4 +203,7 @@ class ExecutionEngine:
             runtime_rows_processed=context.runtime_rows_processed,
             plan_description=plan.explain(),
             batches=batch_count,
+            parallelism=width,
+            max_concurrent_requests=context.tracker.peak,
+            observed_cardinalities=observed,
         )

@@ -25,6 +25,7 @@ Operators hold no per-execution state, so one plan can be executed many times
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Mapping, Sequence
 
@@ -37,9 +38,10 @@ from repro.runtime.batch import (
     freeze_value,
 )
 from repro.runtime.values import Binding, nest_rows
-from repro.stores.base import Store, StoreMetrics, StoreRequest, StoreResult
+from repro.stores.base import ScanRequest, Store, StoreMetrics, StoreRequest, StoreResult
 
 __all__ = [
+    "ConcurrencyTracker",
     "ExecutionContext",
     "Operator",
     "DelegatedRequest",
@@ -53,19 +55,93 @@ __all__ = [
 ]
 
 
+class ConcurrencyTracker:
+    """Tracks how many store requests are in flight, and the peak.
+
+    A request is in flight from the moment it is issued until its stream or
+    probe completes — an open scan cursor counts while it is being consumed.
+    One tracker is shared by an execution's root context and every Exchange
+    worker sub-context, so the peak reflects cross-thread overlap.
+    """
+
+    __slots__ = ("_lock", "_active", "peak")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._active = 0
+        self.peak = 0
+
+    def enter(self) -> None:
+        """One more request in flight."""
+        with self._lock:
+            self._active += 1
+            if self._active > self.peak:
+                self.peak = self._active
+
+    def exit(self) -> None:
+        """One request finished."""
+        with self._lock:
+            self._active -= 1
+
+
 @dataclass(slots=True)
 class ExecutionContext:
-    """Mutable per-execution state: parameters, batch size and store metrics."""
+    """Mutable per-execution state: parameters, batch size and store metrics.
+
+    One context is single-threaded: every Exchange worker evaluates its child
+    pipeline against a :meth:`spawn`-ed sub-context, and the sub-context's
+    metrics are folded back via :meth:`merge_child` *on the consumer thread*
+    (when its Exchange stream is drained, or during the engine's cleanup) —
+    existing operators stay lock-free, and the parent context is never
+    mutated from two threads at once.  ``pool`` and ``exchange_states`` are
+    only populated by a parallel execution; without a pool every Exchange is
+    a pass-through and execution is exactly serial.
+    """
 
     parameters: dict[str, object] = field(default_factory=dict)
     batch_size: int = DEFAULT_BATCH_SIZE
     store_results: list[tuple[str, StoreMetrics]] = field(default_factory=list)
     runtime_rows_processed: int = 0
+    pool: object | None = None
+    tracker: ConcurrencyTracker = field(default_factory=ConcurrencyTracker)
+    observations: list[tuple[str, int]] = field(default_factory=list)
+    exchange_states: dict[int, object] = field(default_factory=dict)
+    merge_lock: threading.Lock = field(default_factory=threading.Lock)
 
     def record(self, store_name: str, result: StoreResult | StoreMetrics) -> None:
         """Record a store request's metrics for the per-store breakdown."""
         metrics = result.metrics if isinstance(result, StoreResult) else result
         self.store_results.append((store_name, metrics))
+
+    def observe(self, fragment: str, rows: int) -> None:
+        """Record the observed cardinality of one fully-drained fragment scan."""
+        self.observations.append((fragment, rows))
+
+    def spawn(self) -> "ExecutionContext":
+        """A sub-context for one Exchange worker (shared tracker, own metrics)."""
+        return ExecutionContext(
+            parameters=self.parameters,
+            batch_size=self.batch_size,
+            tracker=self.tracker,
+        )
+
+    def merge_child(self, child: "ExecutionContext") -> None:
+        """Fold a worker sub-context's metrics into this context.
+
+        Callers must invoke this from the consumer thread only (the other
+        operators mutate the context unlocked); the lock merely guards
+        against overlapping merges.
+        """
+        with self.merge_lock:
+            self.store_results.extend(child.store_results)
+            self.runtime_rows_processed += child.runtime_rows_processed
+            self.observations.extend(child.observations)
+
+    def shutdown_exchanges(self) -> None:
+        """Cancel and join every Exchange worker started under this context."""
+        for state in self.exchange_states.values():
+            state.shutdown()
+        self.exchange_states.clear()
 
 
 def _owner_index(cls: type, attribute: str) -> int:
@@ -127,7 +203,11 @@ class DelegatedRequest(Operator):
     the rewriting atom that the store may or may not have filtered already).
     Results stream from the store in batches; the store's metrics are recorded
     once the stream ends (with whatever was accumulated if the consumer stops
-    early, e.g. under a LIMIT).
+    early, e.g. under a LIMIT).  ``fragment`` names the catalog fragment the
+    request serves; when the request is an unrestricted scan that runs to
+    exhaustion, the observed row count is recorded for the statistics
+    feedback loop (partial/filtered streams would poison the estimate and are
+    skipped).
     """
 
     def __init__(
@@ -137,12 +217,20 @@ class DelegatedRequest(Operator):
         output: Mapping[str, str],
         constants: Mapping[str, object] | None = None,
         label: str | None = None,
+        fragment: str | None = None,
     ) -> None:
         self._store = store
         self._request = request
         self._output = dict(output)
         self._constants = dict(constants or {})
         self._label = label or getattr(request, "collection", type(request).__name__)
+        self._fragment = fragment
+        self._observable = (
+            fragment is not None
+            and isinstance(request, ScanRequest)
+            and not request.predicates
+            and request.limit is None
+        )
 
     def _batches(self, context: ExecutionContext) -> Iterator[RowBatch]:
         stream = self._store.execute_stream(self._request, context.batch_size)
@@ -151,6 +239,7 @@ class DelegatedRequest(Operator):
         schema = tuple(self._output[column] for column in store_columns)
         constant_items = tuple(self._constants.items())
         builder = BatchBuilder(schema, context.batch_size)
+        context.tracker.enter()
         try:
             for chunk in chunks:
                 for row in chunk:
@@ -171,6 +260,12 @@ class DelegatedRequest(Operator):
             # this operator is abandoned mid-stream (LIMIT early exit).
             chunks.close()
             context.record(self._store.name, stream.metrics)
+            context.tracker.exit()
+        # Only reached when the stream ran to exhaustion (an abandoned
+        # generator never resumes past the finally): the full-scan row count
+        # is a trustworthy cardinality observation for the fragment.
+        if self._observable:
+            context.observe(self._fragment, stream.metrics.rows_returned)
 
     def describe(self) -> str:
         return (
@@ -241,7 +336,11 @@ class BindJoin(Operator):
                 request = self._request_factory(left_binding)
                 if request is None:
                     continue
-                probe = self._store.execute(request)
+                context.tracker.enter()
+                try:
+                    probe = self._store.execute(request)
+                finally:
+                    context.tracker.exit()
                 context.record(self._store.name, probe)
                 for row in probe.rows:
                     if constant_items and any(

@@ -1,0 +1,237 @@
+"""Intra-query parallelism: the executor pool and the Exchange operator.
+
+A multi-store plan fans out to several underlying DMSs; executing its
+delegation groups serially pays the *sum* of all store latencies where the
+*max* would do.  The scatter-gather runtime overlaps them:
+
+* :class:`ExecutorPool` is a bounded thread pool (configurable width) shared
+  by every :class:`Exchange` of one execution;
+* :class:`Exchange` is a single-child operator inserted by the physical
+  planner around independent subtrees (each delegated store request — the
+  leaves of hash-join build and probe sides).  When the execution runs with
+  ``parallelism > 1`` the child pipeline is evaluated on a pool worker, and
+  its :class:`~repro.runtime.batch.RowBatch` stream is forwarded to the
+  consumer through a bounded queue.  With ``parallelism == 1`` (or outside an
+  engine-managed execution) the Exchange is a pure pass-through, so serial
+  execution reproduces the pre-parallel engine exactly.
+
+Scheduling is deadlock-free by construction: the engine *pre-starts* every
+Exchange of the plan so independent store requests overlap from the first
+batch, and a consumer that reaches an Exchange whose task is still pending in
+the pool steals it (``Future.cancel``) and runs the child inline — the
+consumer thread therefore never blocks on work that no thread is running.
+Cancellation (LIMIT / early exit / errors) is cooperative: the engine signals
+every Exchange, workers stop between batches and close their child pipeline,
+which finalizes the store streams exactly once and merges the worker's
+metrics back into the parent context.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Iterator
+
+from repro.runtime.batch import RowBatch
+from repro.runtime.operators import ExecutionContext, Operator
+
+__all__ = ["DEFAULT_QUEUE_DEPTH", "ExecutorPool", "Exchange", "ExchangeState"]
+
+DEFAULT_QUEUE_DEPTH = 8
+
+_SENTINEL = object()
+
+
+class ExecutorPool:
+    """A bounded pool of worker threads evaluating Exchange child pipelines.
+
+    ``width`` bounds how many child pipelines run concurrently; excess
+    Exchanges wait in the pool's queue until a slot frees up (or are stolen
+    and run inline by the consumer, see :meth:`ExchangeState.drain`).
+    """
+
+    def __init__(self, width: int) -> None:
+        self.width = max(1, int(width))
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.width, thread_name_prefix="repro-exchange"
+        )
+
+    def submit(self, fn, *args) -> Future:
+        """Schedule ``fn`` on a worker thread."""
+        return self._executor.submit(fn, *args)
+
+    def close(self) -> None:
+        """Shut the pool down (idle workers exit; running tasks finish)."""
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<ExecutorPool width={self.width}>"
+
+
+class ExchangeState:
+    """Per-execution state of one Exchange (operators themselves stay stateless).
+
+    Holds the bounded batch queue, the cancellation event and the worker
+    future; created by :meth:`Exchange.start` and registered in the
+    :class:`~repro.runtime.operators.ExecutionContext` so the engine can shut
+    every Exchange down when the execution ends (normally or early).
+    """
+
+    __slots__ = (
+        "_child",
+        "_parent",
+        "_sub",
+        "_queue",
+        "_cancel",
+        "_done",
+        "_future",
+        "_error",
+        "_inline",
+        "_merged",
+    )
+
+    def __init__(self, child: Operator, context: ExecutionContext, queue_depth: int) -> None:
+        self._child = child
+        self._parent = context
+        self._sub = context.spawn()
+        self._queue: queue.Queue = queue.Queue(maxsize=max(1, queue_depth))
+        self._cancel = threading.Event()
+        self._done = threading.Event()
+        self._future: Future | None = None
+        self._error: BaseException | None = None
+        self._inline = False
+        self._merged = False
+
+    # -- producer side -------------------------------------------------------------
+    def submit(self, pool: ExecutorPool) -> None:
+        """Schedule the child pipeline on the pool."""
+        self._future = pool.submit(self._run)
+
+    def _put(self, item: object) -> bool:
+        """Enqueue ``item``, giving up when the execution is cancelled."""
+        while not self._cancel.is_set():
+            try:
+                self._queue.put(item, timeout=0.05)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def _run(self) -> None:
+        """Worker body: drain the child pipeline into the queue."""
+        try:
+            source = self._child.batches(self._sub)
+            try:
+                for batch in source:
+                    if not self._put(batch):
+                        break
+            finally:
+                # Closing the generator runs the operators' finally blocks:
+                # store streams are finalized (exactly once) and their metrics
+                # recorded into the worker's sub-context.
+                source.close()
+        except BaseException as error:  # noqa: BLE001 - forwarded to the consumer
+            self._error = error
+        finally:
+            self._done.set()
+            self._put(_SENTINEL)
+
+    # -- consumer side -------------------------------------------------------------
+    def _merge(self) -> None:
+        """Fold the worker's sub-context into the parent, exactly once.
+
+        Both call sites — :meth:`drain` after the stream ends and
+        :meth:`shutdown` from the engine's cleanup — run on the *consumer*
+        thread, after :attr:`_done` is set, so the parent context is never
+        mutated concurrently with the consumer-thread operators (which update
+        it unlocked).
+        """
+        if self._merged:
+            return
+        self._merged = True
+        self._parent.merge_child(self._sub)
+
+    def drain(self) -> Iterator[RowBatch]:
+        """Yield the child's batches (from the queue, or inline when stolen)."""
+        if self._future is not None and self._future.cancel():
+            # The pool never started this task: run the child inline on the
+            # consumer thread (plain serial semantics, parent context) rather
+            # than blocking on a queue nobody fills.
+            self._inline = True
+            self._done.set()
+            yield from self._child.batches(self._parent)
+            return
+        while True:
+            try:
+                item = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                if self._done.is_set() and self._queue.empty():
+                    break
+                continue
+            if item is _SENTINEL:
+                break
+            yield item
+        self._merge()
+        if self._error is not None:
+            raise self._error
+
+    def shutdown(self) -> None:
+        """Cancel the worker, wait until its pipeline is closed, merge metrics."""
+        self._cancel.set()
+        if self._inline:
+            return
+        if self._future is not None and self._future.cancel():
+            # Never started: nothing ran, nothing to merge.
+            self._done.set()
+            return
+        # The worker stops at the next batch/queue-put boundary; drain the
+        # queue while waiting so a producer blocked on a full queue wakes up.
+        while not self._done.wait(timeout=0.05):
+            try:
+                while True:
+                    self._queue.get_nowait()
+            except queue.Empty:
+                pass
+        self._merge()
+
+
+class Exchange(Operator):
+    """Run the child pipeline concurrently, forwarding batches through a queue.
+
+    The operator itself is stateless (plans stay cacheable and re-executable);
+    all per-execution state lives in an :class:`ExchangeState` registered in
+    the execution context.  Without a pool on the context the Exchange
+    degenerates to ``child.batches(context)`` — the serial fallback.
+    """
+
+    def __init__(
+        self, child: Operator, label: str = "", queue_depth: int = DEFAULT_QUEUE_DEPTH
+    ) -> None:
+        self._child = child
+        self._label = label
+        self._queue_depth = queue_depth
+
+    def children(self):
+        return (self._child,)
+
+    def start(self, context: ExecutionContext) -> ExchangeState:
+        """Create (or fetch) this Exchange's state and schedule its worker."""
+        state = context.exchange_states.get(id(self))
+        if state is None:
+            state = ExchangeState(self._child, context, self._queue_depth)
+            context.exchange_states[id(self)] = state
+            state.submit(context.pool)
+        return state
+
+    def batches(self, context: ExecutionContext) -> Iterator[RowBatch]:
+        if context.pool is None:
+            return self._child.batches(context)
+        state = context.exchange_states.get(id(self))
+        if state is None:
+            state = self.start(context)
+        return state.drain()
+
+    def describe(self) -> str:
+        suffix = f" {self._label}" if self._label else ""
+        return f"Exchange[{suffix.strip() or 'scatter-gather'}]"

@@ -22,9 +22,10 @@ counts) consumed by the cost model.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import StoreError, UnsupportedOperationError
 
@@ -183,9 +184,26 @@ class StoreResultStream:
     the per-query store breakdown at that point).  Time spent inside the store
     (issuing the request, pulling rows) is measured; time the consumer spends
     between batches is not charged to the store.
+
+    Finalization is **idempotent and race-free**: the running counters live on
+    the instance and :meth:`_finalize` folds them into :attr:`metrics` (and the
+    store's cumulative counters) exactly once, under a lock — a pipeline
+    abandoned mid-stream may be closed from the consumer thread while the
+    producing Exchange worker unwinds, and both paths meet here.
     """
 
-    __slots__ = ("_store", "_request", "_batch_size", "metrics", "_consumed")
+    __slots__ = (
+        "_store",
+        "_request",
+        "_batch_size",
+        "metrics",
+        "_consumed",
+        "_lock",
+        "_finalized",
+        "_returned",
+        "_elapsed",
+        "_base_metrics",
+    )
 
     def __init__(self, store: "Store", request: StoreRequest, batch_size: int) -> None:
         self._store = store
@@ -193,20 +211,50 @@ class StoreResultStream:
         self._batch_size = max(1, batch_size)
         self.metrics = StoreMetrics()
         self._consumed = False
+        self._lock = threading.Lock()
+        self._finalized = False
+        self._returned = 0
+        self._elapsed = 0.0
+        self._base_metrics = StoreMetrics()
+
+    @property
+    def finalized(self) -> bool:
+        """Whether the stream's metrics have been folded into the store."""
+        return self._finalized
+
+    def _finalize(self) -> None:
+        """Fold the running counters into :attr:`metrics` exactly once."""
+        with self._lock:
+            if self._finalized:
+                return
+            self._finalized = True
+            self.metrics = StoreMetrics(
+                rows_scanned=self._base_metrics.rows_scanned,
+                rows_returned=self._returned,
+                index_lookups=self._base_metrics.index_lookups,
+                partitions_used=self._base_metrics.partitions_used,
+                elapsed_seconds=self._elapsed,
+            )
+            self._store._note_request(self.metrics)
+
+    def close(self) -> None:
+        """Finalize the stream early (safe to call from any thread, any number of times)."""
+        self._finalize()
 
     def __iter__(self) -> Iterator[list[dict[str, object]]]:
-        if self._consumed:
-            raise StoreError(
-                f"result stream of {self._store.name!r} has already been consumed"
-            )
-        self._consumed = True
-        returned = 0
-        elapsed = 0.0
-        base_metrics = StoreMetrics()
+        with self._lock:
+            if self._consumed:
+                raise StoreError(
+                    f"result stream of {self._store.name!r} has already been consumed"
+                )
+            self._consumed = True
         try:
             started = time.perf_counter()
-            rows_iter, base_metrics = self._store._execute_stream(self._request)
-            elapsed = time.perf_counter() - started
+            latency = self._store.simulated_latency
+            if latency > 0.0:
+                time.sleep(latency)
+            rows_iter, self._base_metrics = self._store._execute_stream(self._request)
+            self._elapsed += time.perf_counter() - started
             while True:
                 pulled = time.perf_counter()
                 batch: list[dict[str, object]] = []
@@ -214,23 +262,16 @@ class StoreResultStream:
                     batch.append(row)
                     if len(batch) >= self._batch_size:
                         break
-                elapsed += time.perf_counter() - pulled
+                self._elapsed += time.perf_counter() - pulled
                 if not batch:
                     break
-                returned += len(batch)
+                self._returned += len(batch)
                 yield batch
         finally:
             # Runs on exhaustion *and* when the consumer abandons the stream
             # early (e.g. under a LIMIT): whatever was actually pulled is
             # what the request served.
-            self.metrics = StoreMetrics(
-                rows_scanned=base_metrics.rows_scanned,
-                rows_returned=returned,
-                index_lookups=base_metrics.index_lookups,
-                partitions_used=base_metrics.partitions_used,
-                elapsed_seconds=elapsed,
-            )
-            self._store._note_request(self.metrics)
+            self._finalize()
 
 
 class Store:
@@ -241,12 +282,32 @@ class Store:
     :meth:`execute` wrapper adds timing and cumulative per-store counters used
     by the demo's performance reporting; :meth:`execute_stream` is the batched
     path used by the streaming runtime for scans.
+
+    Stores are **thread-safe for request execution**: requests carry their own
+    per-request metrics, cumulative counters are folded in under a lock, and
+    the simulators keep no mutable scan state shared between requests — the
+    scatter-gather runtime issues requests to one store from several Exchange
+    workers concurrently.  ``latency`` is a simulated per-request service
+    latency (seconds): the real systems the simulators stand in for answer no
+    request instantly, and without it the concurrency benchmarks would
+    measure nothing but Python overhead.
     """
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, latency: float = 0.0) -> None:
         self.name = name
         self._total_metrics = StoreMetrics()
         self._requests_served = 0
+        self._latency = max(0.0, latency)
+        self._metrics_lock = threading.Lock()
+
+    @property
+    def simulated_latency(self) -> float:
+        """The simulated per-request latency in seconds (0 by default)."""
+        return self._latency
+
+    def set_simulated_latency(self, seconds: float) -> None:
+        """Change the simulated per-request latency (benchmarks use this)."""
+        self._latency = max(0.0, float(seconds))
 
     # -- interface to implement ------------------------------------------------
     def capabilities(self) -> StoreCapabilities:
@@ -286,6 +347,8 @@ class Store:
     def execute(self, request: StoreRequest) -> StoreResult:
         """Execute a request, recording timing and cumulative metrics."""
         started = time.perf_counter()
+        if self._latency > 0.0:
+            time.sleep(self._latency)
         result = self._execute(request)
         result.metrics.elapsed_seconds = time.perf_counter() - started
         result.metrics.rows_returned = len(result.rows)
@@ -303,14 +366,16 @@ class Store:
         return StoreResultStream(self, request, batch_size)
 
     def _note_request(self, metrics: StoreMetrics) -> None:
-        """Fold one served request into the cumulative counters."""
-        self._total_metrics = self._total_metrics.merge(metrics)
-        self._requests_served += 1
+        """Fold one served request into the cumulative counters (thread-safe)."""
+        with self._metrics_lock:
+            self._total_metrics = self._total_metrics.merge(metrics)
+            self._requests_served += 1
 
     def reset_metrics(self) -> None:
         """Zero the cumulative counters (used between benchmark runs)."""
-        self._total_metrics = StoreMetrics()
-        self._requests_served = 0
+        with self._metrics_lock:
+            self._total_metrics = StoreMetrics()
+            self._requests_served = 0
 
     @property
     def total_metrics(self) -> StoreMetrics:

@@ -62,8 +62,8 @@ def flatten_document(document: Mapping[str, object], prefix: str = "") -> dict[s
 class DocumentStore(Store):
     """An in-memory document DMS with path predicates and single-field indexes."""
 
-    def __init__(self, name: str = "document") -> None:
-        super().__init__(name)
+    def __init__(self, name: str = "document", latency: float = 0.0) -> None:
+        super().__init__(name, latency=latency)
         self._collections: dict[str, list[dict[str, object]]] = {}
         self._indexes: dict[tuple[str, str], dict[object, list[int]]] = {}
 

@@ -43,8 +43,10 @@ class _Collection:
 class FullTextStore(Store):
     """An in-memory full-text DMS with TF-IDF ranked search."""
 
-    def __init__(self, name: str = "fulltext", analyzer: Analyzer | None = None) -> None:
-        super().__init__(name)
+    def __init__(
+        self, name: str = "fulltext", analyzer: Analyzer | None = None, latency: float = 0.0
+    ) -> None:
+        super().__init__(name, latency=latency)
         self._analyzer = analyzer or Analyzer()
         self._collections: dict[str, _Collection] = {}
 

@@ -31,8 +31,10 @@ __all__ = ["KeyValueStore"]
 class KeyValueStore(Store):
     """An in-memory key-value DMS with a mandatory-key access pattern."""
 
-    def __init__(self, name: str = "keyvalue", allow_scans: bool = False) -> None:
-        super().__init__(name)
+    def __init__(
+        self, name: str = "keyvalue", allow_scans: bool = False, latency: float = 0.0
+    ) -> None:
+        super().__init__(name, latency=latency)
         self._collections: dict[str, dict[object, object]] = {}
         # Some deployments (e.g. a debugging console) allow full scans; the
         # default mirrors the paper's restriction.

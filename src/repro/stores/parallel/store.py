@@ -18,7 +18,6 @@ from repro.errors import SchemaError, StoreError, UnsupportedOperationError
 from repro.stores.base import (
     JoinRequest,
     LookupRequest,
-    Predicate,
     ScanRequest,
     SearchRequest,
     Store,
@@ -55,8 +54,10 @@ class _Dataset:
 class ParallelStore(Store):
     """A partitioned nested-relation DMS with simulated parallel evaluation."""
 
-    def __init__(self, name: str = "parallel", default_partitions: int = 4) -> None:
-        super().__init__(name)
+    def __init__(
+        self, name: str = "parallel", default_partitions: int = 4, latency: float = 0.0
+    ) -> None:
+        super().__init__(name, latency=latency)
         if default_partitions < 1:
             raise StoreError("a parallel store needs at least one partition")
         self._default_partitions = default_partitions

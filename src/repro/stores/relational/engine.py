@@ -15,7 +15,6 @@ from repro.errors import SchemaError, StoreError, UnsupportedOperationError
 from repro.stores.base import (
     JoinRequest,
     LookupRequest,
-    Predicate,
     ScanRequest,
     SearchRequest,
     Store,
@@ -32,8 +31,8 @@ __all__ = ["RelationalStore"]
 class RelationalStore(Store):
     """An in-memory relational DMS with indexes and hash joins."""
 
-    def __init__(self, name: str = "relational") -> None:
-        super().__init__(name)
+    def __init__(self, name: str = "relational", latency: float = 0.0) -> None:
+        super().__init__(name, latency=latency)
         self._tables: dict[str, Table] = {}
 
     # -- DDL / DML ---------------------------------------------------------------

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Sequence
 
 __all__ = ["MarketplaceConfig", "MarketplaceData", "generate_marketplace"]
 

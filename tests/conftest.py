@@ -130,3 +130,9 @@ def build_marketplace_estocada(data, algorithm: str = "pacb") -> Estocada:
 def marketplace_estocada(marketplace_data):
     """A fresh, fully-wired ESTOCADA deployment for each test."""
     return build_marketplace_estocada(marketplace_data)
+
+
+@pytest.fixture(scope="session")
+def marketplace_builder():
+    """The deployment builder itself, for tests that need several instances."""
+    return build_marketplace_estocada

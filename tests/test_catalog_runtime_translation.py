@@ -10,7 +10,7 @@ from repro.catalog import (
     StorageLayout,
 )
 from repro.catalog.materialize import materialize_fragment
-from repro.core import Atom, ConjunctiveQuery, Constant, Variable, ViewDefinition
+from repro.core import Atom, ConjunctiveQuery, Constant, ViewDefinition
 from repro.errors import (
     CatalogError,
     DuplicateRegistrationError,
@@ -35,7 +35,6 @@ from repro.runtime import (
 from repro.stores import (
     KeyValueStore,
     LookupRequest,
-    Predicate,
     RelationalStore,
     ScanRequest,
 )

@@ -14,7 +14,6 @@ from repro.core import (
     ViewDefinition,
     classical_backchase,
     feasible_order,
-    is_equivalent,
     is_feasible,
     key_constraint,
     pacb_rewrite,

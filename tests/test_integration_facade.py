@@ -5,7 +5,6 @@ import pytest
 from repro.advisor import WorkloadQuery
 from repro.core import Atom, ConjunctiveQuery, Constant
 from repro.errors import NoRewritingFoundError, TranslationError
-from repro.languages.docql import DocumentQuery
 from repro.workloads import generate_marketplace
 
 

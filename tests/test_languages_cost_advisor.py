@@ -4,8 +4,7 @@ import pytest
 
 from repro.advisor import WorkloadQuery, enumerate_candidates, greedy_select
 from repro.advisor.heuristics import CandidateScore
-from repro.catalog import StatisticsCatalog
-from repro.core import Atom, ConjunctiveQuery, Constant, Variable
+from repro.core import Atom, ConjunctiveQuery, Constant
 from repro.cost import CostModel, PlanChooser
 from repro.errors import ParseError, TranslationError
 from repro.languages.docql import DocumentQuery

@@ -274,9 +274,8 @@ class TestCostBasedJoinChoice:
             Planner(manager, cost_model=CostModel(StatisticsCatalog(manager)))
             .plan(self.QUERY).root
         )
-        scanned = lambda result: sum(
-            b.rows_scanned for b in result.store_breakdown.values()
-        )
+        def scanned(result):
+            return sum(b.rows_scanned for b in result.store_breakdown.values())
         assert scanned(cost_based_result) < scanned(structural_result)
 
 
