@@ -1,6 +1,12 @@
 """Catalog: storage descriptors, the descriptor manager and fragment statistics."""
 
-from repro.catalog.descriptors import AccessMethod, Credentials, StorageDescriptor, StorageLayout
+from repro.catalog.descriptors import (
+    AccessMethod,
+    Credentials,
+    ShardingSpec,
+    StorageDescriptor,
+    StorageLayout,
+)
 from repro.catalog.manager import DatasetInfo, StorageDescriptorManager
 from repro.catalog.statistics import FragmentStatistics, StatisticsCatalog
 
@@ -9,6 +15,7 @@ __all__ = [
     "StorageLayout",
     "AccessMethod",
     "Credentials",
+    "ShardingSpec",
     "DatasetInfo",
     "StorageDescriptorManager",
     "StatisticsCatalog",

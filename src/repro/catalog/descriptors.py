@@ -22,8 +22,9 @@ from typing import Mapping
 from repro.core.binding_patterns import AccessPattern
 from repro.core.views import ViewDefinition
 from repro.errors import CatalogError
+from repro.stores.sharding import ShardingSpec
 
-__all__ = ["AccessMethod", "StorageLayout", "Credentials", "StorageDescriptor"]
+__all__ = ["AccessMethod", "StorageLayout", "Credentials", "StorageDescriptor", "ShardingSpec"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -80,6 +81,7 @@ class StorageDescriptor:
     layout: StorageLayout
     access: AccessMethod = field(default_factory=AccessMethod)
     credentials: Credentials = field(default_factory=Credentials)
+    sharding: ShardingSpec | None = None
 
     def __post_init__(self) -> None:
         if not self.fragment_name:
@@ -87,6 +89,11 @@ class StorageDescriptor:
         if self.view.name != self.fragment_name:
             raise CatalogError(
                 f"descriptor name {self.fragment_name!r} does not match view name {self.view.name!r}"
+            )
+        if self.sharding is not None and self.sharding.shard_key not in self.view_columns():
+            raise CatalogError(
+                f"shard key {self.sharding.shard_key!r} is not a view column of "
+                f"fragment {self.fragment_name!r}"
             )
 
     # -- derived information used by the rewriting engine and planner -------------
@@ -110,7 +117,7 @@ class StorageDescriptor:
 
     def describe(self) -> Mapping[str, object]:
         """A JSON-friendly description (used by the demo-style introspection)."""
-        return {
+        description = {
             "fragment": self.fragment_name,
             "dataset": self.dataset,
             "store": self.store,
@@ -119,3 +126,6 @@ class StorageDescriptor:
             "column_mapping": dict(self.layout.column_mapping),
             "access": {"kind": self.access.kind, "key_columns": list(self.access.key_columns)},
         }
+        if self.sharding is not None:
+            description["sharding"] = self.sharding.describe()
+        return description

@@ -21,6 +21,7 @@ from repro.stores.fulltext import FullTextStore
 from repro.stores.keyvalue import KeyValueStore
 from repro.stores.parallel import ParallelStore
 from repro.stores.relational import RelationalStore
+from repro.stores.sharded import ShardedStore
 
 __all__ = ["materialize_fragment"]
 
@@ -53,6 +54,47 @@ def materialize_fragment(
     store_rows = _store_rows(descriptor, rows)
     view_columns = descriptor.view_columns()
     store_columns = [descriptor.layout.store_column(column) for column in view_columns]
+
+    if isinstance(store, ShardedStore):
+        spec = descriptor.sharding
+        if spec is None:
+            raise CatalogError(
+                f"fragment {descriptor.fragment_name!r} targets sharded store "
+                f"{store.name!r} but its descriptor carries no sharding spec"
+            )
+        if spec.shards != store.shard_count:
+            raise CatalogError(
+                f"fragment {descriptor.fragment_name!r} declares {spec.shards} shards "
+                f"but store {store.name!r} has {store.shard_count}"
+            )
+        # The router can only route a LookupRequest's keys through the
+        # sharding spec — it has no column information — so a lookup fragment
+        # must be keyed by exactly the shard key, or every probe would hash a
+        # foreign value into the wrong shard and silently return nothing.
+        if descriptor.access.kind == "lookup" and (
+            len(descriptor.access.key_columns) != 1
+            or descriptor.access.key_columns[0] != spec.shard_key
+        ):
+            raise CatalogError(
+                f"lookup fragment {descriptor.fragment_name!r} in sharded store "
+                f"{store.name!r} must use its shard key {spec.shard_key!r} as the "
+                f"single lookup key, got {descriptor.access.key_columns!r}"
+            )
+        # The spec on the descriptor routes on the *view* column; the router
+        # sees store-side rows, so register it under the store-side name.
+        store.set_sharding(collection, spec.renamed(descriptor.layout.store_column(spec.shard_key)))
+        # Route on the view rows, then materialize each slice into its child
+        # store recursively — every shard gets the collection created (and
+        # indexed) even when it receives no rows.
+        sliced: list[list[Mapping[str, object]]] = [[] for _ in range(store.shard_count)]
+        for row in rows:
+            sliced[spec.route(row.get(spec.shard_key))].append(row)
+        written = 0
+        for index, shard_rows in enumerate(sliced):
+            written += materialize_fragment(
+                store.shard(index), descriptor, shard_rows, indexes=indexes, partitions=partitions
+            )
+        return written
 
     if isinstance(store, RelationalStore):
         key_columns = [

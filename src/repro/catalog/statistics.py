@@ -31,12 +31,26 @@ OBSERVATION_SMOOTHING = 0.4
 
 @dataclass(frozen=True, slots=True)
 class FragmentStatistics:
-    """Cardinality and per-column distinct counts of one fragment."""
+    """Cardinality and per-column distinct counts of one fragment.
+
+    ``shard_cardinalities`` is non-empty only for fragments materialized in a
+    sharded store: one row count per shard, in shard order.  The cost model
+    uses it to price a pruned single-shard access against a full fan-out.
+    """
 
     fragment: str
     cardinality: int
     distinct_values: Mapping[str, int]
     indexed_columns: frozenset[str]
+    shard_cardinalities: tuple[int, ...] = ()
+
+    def shard_cardinality(self, shard: int) -> int:
+        """Row count of one shard (mean share of the total when unknown)."""
+        if 0 <= shard < len(self.shard_cardinalities):
+            return self.shard_cardinalities[shard]
+        if self.shard_cardinalities:
+            return max(1, round(self.cardinality / len(self.shard_cardinalities)))
+        return self.cardinality
 
     def distinct(self, column: str) -> int:
         """Distinct count of a column (defaults to the cardinality)."""
@@ -57,15 +71,18 @@ class StatisticsCatalog:
         self._manager = manager
         self._cache: dict[str, FragmentStatistics] = {}
         self._observed: dict[str, float] = {}
+        self._shard_observed: dict[str, dict[int, float]] = {}
 
     def invalidate(self, fragment: str | None = None) -> None:
         """Drop cached statistics and observations (one fragment or all)."""
         if fragment is None:
             self._cache.clear()
             self._observed.clear()
+            self._shard_observed.clear()
         else:
             self._cache.pop(fragment, None)
             self._observed.pop(fragment, None)
+            self._shard_observed.pop(fragment, None)
 
     # -- the runtime feedback loop --------------------------------------------------
     def observed_cardinality(self, fragment: str) -> float | None:
@@ -103,6 +120,44 @@ class StatisticsCatalog:
             return None
         return abs(refreshed - reference) / max(reference, 1.0)
 
+    def record_shard_observation(
+        self,
+        fragment: str,
+        shard: int,
+        observed_rows: int,
+        smoothing: float = OBSERVATION_SMOOTHING,
+    ) -> float | None:
+        """Fold one observed *per-shard* cardinality into the shard's estimate.
+
+        The sharded fan-out scans each shard independently, so each exhausted
+        per-shard scan measures that shard's row count.  Same EWMA scheme as
+        :meth:`record_observation`, tracked per ``(fragment, shard)``; the
+        returned drift is relative to the per-shard estimate the planner was
+        using, letting the facade invalidate cached sharded plans whose
+        fan-out / pruning cost trade-off no longer holds.
+        """
+        observed = float(max(0, observed_rows))
+        per_shard = self._shard_observed.setdefault(fragment, {})
+        previous = per_shard.get(shard)
+        if previous is None:
+            try:
+                base = self.refresh(fragment) if fragment not in self._cache else self._cache[fragment]
+                reference = float(base.shard_cardinality(shard)) if base.shard_cardinalities else None
+            except CatalogError:
+                reference = None
+            refreshed = observed
+        else:
+            reference = previous
+            refreshed = previous + smoothing * (observed - previous)
+        per_shard[shard] = refreshed
+        if reference is None:
+            return None
+        return abs(refreshed - reference) / max(reference, 1.0)
+
+    def observed_shard_cardinality(self, fragment: str, shard: int) -> float | None:
+        """The current per-shard observed estimate, if any."""
+        return self._shard_observed.get(fragment, {}).get(shard)
+
     def refresh(self, fragment: str) -> FragmentStatistics:
         """Recompute and cache the statistics of one fragment."""
         descriptor = self._manager.fragment(fragment)
@@ -132,11 +187,16 @@ class StatisticsCatalog:
             indexed.add(key_column)
             if distinct.get(key_column, 0) <= 1:
                 distinct[key_column] = cardinality
+        shard_sizes = getattr(store, "shard_sizes", None)
+        shard_cardinalities: tuple[int, ...] = ()
+        if shard_sizes is not None:
+            shard_cardinalities = tuple(shard_sizes(collection))
         statistics = FragmentStatistics(
             fragment=fragment,
             cardinality=cardinality,
             distinct_values=distinct,
             indexed_columns=frozenset(indexed),
+            shard_cardinalities=shard_cardinalities,
         )
         self._cache[fragment] = statistics
         return statistics
@@ -152,6 +212,25 @@ class StatisticsCatalog:
         cached = self._cache.get(fragment)
         if cached is None:
             cached = self.refresh(fragment)
+        per_shard = self._shard_observed.get(fragment)
+        if per_shard and cached.shard_cardinalities:
+            shard_cardinalities = tuple(
+                max(0, round(per_shard.get(shard, base)))
+                for shard, base in enumerate(cached.shard_cardinalities)
+            )
+            cardinality = max(1, sum(shard_cardinalities))
+            if shard_cardinalities != cached.shard_cardinalities:
+                return FragmentStatistics(
+                    fragment=fragment,
+                    cardinality=cardinality,
+                    distinct_values={
+                        column: min(count, cardinality)
+                        for column, count in dict(cached.distinct_values).items()
+                    },
+                    indexed_columns=cached.indexed_columns,
+                    shard_cardinalities=shard_cardinalities,
+                )
+            return cached
         observed = self._observed.get(fragment)
         if observed is None:
             return cached
@@ -166,4 +245,5 @@ class StatisticsCatalog:
                 for column, count in dict(cached.distinct_values).items()
             },
             indexed_columns=cached.indexed_columns,
+            shard_cardinalities=cached.shard_cardinalities,
         )

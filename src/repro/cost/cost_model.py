@@ -70,6 +70,16 @@ _RUNTIME_ROW_COST = 0.8
 LATENCY_COST_PER_SECOND = 1000.0
 """Cost units charged per second of simulated per-request store latency."""
 
+SHARD_FANOUT_CONCURRENCY = 4.0
+"""Assumed overlap of per-shard requests when a scan fans out across shards.
+
+Mirrors the scatter-gather executor's typical width: an unpruned scan of an
+N-shard fragment pays every shard's request overhead, but the per-row scan
+work (and the request latencies) overlap up to this factor.  Only relative
+comparisons matter — the constant makes pruned single-shard plans clearly
+cheaper than fan-outs while keeping fan-outs cheaper than N serial scans.
+"""
+
 
 @dataclass(slots=True)
 class PlanCostEstimate:
@@ -189,9 +199,13 @@ class CostModel:
         scanned = stats.cardinality
         if has_index and constant_columns:
             scanned = max(estimate.estimated_rows, 1.0)
-        scan_cost = profile.request_cost + (scanned * profile.scan_row_cost) / max(
-            profile.parallelism, 1.0
-        )
+        spec = access.descriptor.sharding
+        if spec is not None:
+            scan_cost = self._sharded_scan_cost(access, spec, stats, profile, scanned)
+        else:
+            scan_cost = profile.request_cost + (scanned * profile.scan_row_cost) / max(
+                profile.parallelism, 1.0
+            )
         if left_rows:
             # The mediator joins this scan with the left side.
             scan_cost += _RUNTIME_ROW_COST * (left_rows + estimate.estimated_rows)
@@ -202,6 +216,40 @@ class CostModel:
         else:
             output = estimate.estimated_rows
         return scan_cost, output
+
+    def _sharded_scan_cost(
+        self,
+        access: AtomAccess,
+        spec,
+        stats,
+        profile: StoreCostProfile,
+        scanned: float,
+    ) -> float:
+        """Scan cost of a sharded fragment: pruned single-shard vs fan-out.
+
+        A constant on the shard key routes the scan to one shard — one
+        request, that shard's rows.  Otherwise the planner fans out one
+        request per shard; every request's overhead (and latency, amortized
+        by the executor's overlap) is paid, and the row work overlaps across
+        shards.  Costs are computed from the catalog's *per-shard*
+        cardinalities, so drifting shard statistics re-price cached plans
+        after invalidation.
+        """
+        constants = access.constant_by_column()
+        if spec.shard_key in constants:
+            target = spec.route(constants[spec.shard_key])
+            shard_rows = float(stats.shard_cardinality(target))
+            # Other constants still narrow the shard-local scan estimate.
+            for column, _ in constants.items():
+                if column != spec.shard_key:
+                    shard_rows *= stats.selectivity_of_equality(column)
+            return profile.request_cost + shard_rows * profile.scan_row_cost
+        overlap = max(min(float(spec.shards), SHARD_FANOUT_CONCURRENCY), 1.0)
+        fixed = profile.request_overhead * spec.shards
+        latency = (
+            profile.request_latency_seconds * LATENCY_COST_PER_SECOND * spec.shards
+        ) / overlap
+        return fixed + latency + (scanned * profile.scan_row_cost) / overlap
 
     # -- join algorithm choice ---------------------------------------------------------
     def join_algorithm(

@@ -19,7 +19,7 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.catalog.descriptors import StorageDescriptor
 from repro.catalog.manager import DatasetInfo, StorageDescriptorManager
@@ -36,10 +36,12 @@ from repro.datamodel.relational import RelationalSchema, TableSchema
 from repro.errors import NoRewritingFoundError, TranslationError
 from repro.languages.docql import DocumentQuery
 from repro.languages.sql.translator import SqlTranslator, TranslatedQuery
+from repro.plan.physical import push_partial_aggregation
 from repro.runtime.batch import RowBatch
 from repro.runtime.engine import ExecutionEngine, QueryResult
 from repro.runtime.operators import Aggregate, Deduplicate, Filter, Operator
 from repro.stores.base import COMPARATORS, Store
+from repro.stores.sharded import ShardedStore
 from repro.translation.planner import Planner
 
 __all__ = ["Explanation", "PlanCache", "Estocada"]
@@ -201,6 +203,39 @@ class Estocada:
     def register_store(self, name: str, store: Store) -> None:
         """Register an underlying DMS under ``name``."""
         self._manager.register_store(name, store)
+
+    def register_sharded_store(
+        self,
+        name: str,
+        shards: int,
+        factory: "Callable[[str], Store] | None" = None,
+    ) -> ShardedStore:
+        """Register a horizontally sharded store of ``shards`` homogeneous instances.
+
+        ``factory`` builds one child store per shard from its generated name
+        (``f"{name}.{i}"``); the default spins up simulated relational
+        instances.  Fragments materialized into the returned store must carry
+        a :class:`~repro.catalog.ShardingSpec` on their descriptor — the
+        planner then prunes or fans out shard requests per query.
+        """
+        if factory is None:
+            from repro.stores.relational import RelationalStore
+
+            factory = RelationalStore
+        store = ShardedStore.homogeneous(name, shards, factory)
+        self.register_store(name, store)
+        return store
+
+    def shard_configuration(self) -> Mapping[str, object]:
+        """Per-store sharding topology (shard counts and collection specs)."""
+        configuration: dict[str, object] = {}
+        for name, store in self._manager.stores().items():
+            if isinstance(store, ShardedStore):
+                configuration[name] = {
+                    "shards": store.shard_count,
+                    "collections": dict(store.describe_sharding()),
+                }
+        return configuration
 
     def register_relational_dataset(
         self,
@@ -421,11 +456,21 @@ class Estocada:
         root = self._apply_residual(root, pivot_query, output_names, residual, aggregation, extras)
         result = self._engine.execute(root, parallelism=parallelism)
         result.cache_hit = cache_hit
+        sharding_note = ""
+        if result.shards_contacted or result.shards_pruned:
+            sharding_note = (
+                f", shards: {result.shards_contacted} contacted"
+                f" / {result.shards_pruned} pruned"
+            )
+        # The executed tree (residual filters, aggregation — possibly pushed
+        # down per shard — and output shaping included), not just the cached
+        # rewriting plan.
         result.plan_description = (
-            explanation.plan_text()
+            root.explain()
             + f"\n-- plan cache: {'hit' if cache_hit else 'miss'}"
             + f", batches: {result.batches}"
             + f", parallelism: {result.parallelism}"
+            + sharding_note
         )
         self._absorb_observations(result)
         return result
@@ -443,6 +488,17 @@ class Estocada:
             drift = self._cost_model.record_observation(fragment, observed_rows)
             if drift is not None and drift > self._drift_threshold:
                 self._plan_cache.invalidate_fragment(fragment)
+        # Per-shard observations from sharded fan-out scans: a shard whose
+        # row count drifted re-prices the pruning / fan-out trade-off, so
+        # cached plans over the fragment are dropped and re-planned against
+        # the refreshed per-shard statistics.
+        for fragment, per_shard in result.observed_shard_cardinalities.items():
+            for shard, observed_rows in per_shard.items():
+                drift = self._statistics.record_shard_observation(
+                    fragment, shard, observed_rows
+                )
+                if drift is not None and drift > self._drift_threshold:
+                    self._plan_cache.invalidate_fragment(fragment)
 
     # -- helpers ---------------------------------------------------------------------------------
     def _to_pivot(
@@ -497,7 +553,19 @@ class Estocada:
                     label=f"{predicate.variable} {predicate.op} {predicate.value!r}",
                 )
         if aggregation is not None:
-            root = Aggregate(root, aggregation.group_by, aggregation.aggregations)
+            # Over a sharded fragment scan (and with no mediator-side residual
+            # filters in between) the aggregation decomposes: each shard
+            # pre-aggregates its own rows, the mediator merges partial states.
+            pushed = (
+                push_partial_aggregation(root, aggregation.group_by, aggregation.aggregations)
+                if not residual
+                else None
+            )
+            root = (
+                pushed
+                if pushed is not None
+                else Aggregate(root, aggregation.group_by, aggregation.aggregations)
+            )
         # SQL defaults to bag semantics (DISTINCT opts into sets); plain pivot
         # conjunctive queries follow the usual set semantics.
         pivot_set_semantics = output_names is None and aggregation is None

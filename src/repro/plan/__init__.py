@@ -17,8 +17,9 @@ from repro.plan.logical import (
     LogicalPlan,
     LogicalProject,
     build_logical_plan,
+    shard_selection,
 )
-from repro.plan.physical import PhysicalPlan, PhysicalPlanner
+from repro.plan.physical import PhysicalPlan, PhysicalPlanner, push_partial_aggregation
 
 __all__ = [
     "LogicalNode",
@@ -28,6 +29,8 @@ __all__ = [
     "LogicalDistinct",
     "LogicalPlan",
     "build_logical_plan",
+    "shard_selection",
     "PhysicalPlan",
     "PhysicalPlanner",
+    "push_partial_aggregation",
 ]

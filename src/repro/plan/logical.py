@@ -7,6 +7,15 @@ with a final projection (and optional duplicate elimination).  It says
 nothing about join algorithms or store-request compilation — that is the
 physical pass's job (:mod:`repro.plan.physical`), which keeps the cost
 model's choices out of the structural translation step.
+
+Accesses to fragments materialized in a **sharded store** additionally carry
+the shard selection: when an equality constant in the atom binds the
+fragment's shard key, routing is computed here (via the descriptor's
+:class:`~repro.stores.sharding.ShardingSpec`) and the access is *pruned* to
+the single shard that can hold matching rows; otherwise every shard is a
+target and the physical pass fans the scan out shard-by-shard.  Constants
+are part of the plan-cache key, so a cached pruned plan can never be replayed
+against a different shard.
 """
 
 from __future__ import annotations
@@ -18,7 +27,9 @@ from repro.catalog.manager import StorageDescriptorManager
 from repro.core.query import ConjunctiveQuery
 from repro.core.terms import Variable
 from repro.errors import PlanningError
+from repro.stores.sharded import ShardedStore
 from repro.translation.grouping import (
+    AtomAccess,
     DelegationGroup,
     group_for_delegation,
     order_atoms,
@@ -32,6 +43,7 @@ __all__ = [
     "LogicalDistinct",
     "LogicalPlan",
     "build_logical_plan",
+    "shard_selection",
 ]
 
 
@@ -54,15 +66,26 @@ class LogicalNode:
 
 @dataclass(slots=True)
 class LogicalAccess(LogicalNode):
-    """One delegation group: the largest sub-query one store can evaluate."""
+    """One delegation group: the largest sub-query one store can evaluate.
+
+    ``shard_targets`` is ``None`` for unsharded fragments; for fragments in a
+    sharded store it lists the shards that can hold matching rows (all of
+    them for an unpruned scan, exactly one when a constant binds the shard
+    key), and ``shard_total`` is the store's shard count.
+    """
 
     group: DelegationGroup
+    shard_targets: tuple[int, ...] | None = None
+    shard_total: int = 0
 
     def describe(self) -> str:
         fragments = "+".join(
             access.descriptor.fragment_name for access in self.group.accesses
         )
-        return f"Access[store={self.group.store.name}, {fragments}]"
+        sharding = ""
+        if self.shard_targets is not None:
+            sharding = f", shards={len(self.shard_targets)}/{self.shard_total}"
+        return f"Access[store={self.group.store.name}, {fragments}{sharding}]"
 
 
 @dataclass(slots=True)
@@ -127,6 +150,42 @@ class LogicalPlan:
         return self.root.explain()
 
 
+def shard_selection(access: AtomAccess) -> tuple[tuple[int, ...], int] | None:
+    """The shard targets of one atom access, or ``None`` when not sharded.
+
+    Pruning uses the equality constants of the atom: a constant on the shard
+    key routes to exactly one shard (under either strategy); without one,
+    every shard is a target.  Range predicates on the shard key live outside
+    the conjunctive pivot query (they are residual, mediator-side work) so
+    range pruning happens inside the sharded store when a compiled request
+    carries such a predicate — never here.
+    """
+    spec = access.descriptor.sharding
+    if spec is None or not isinstance(access.store, ShardedStore):
+        return None
+    if spec.shards != access.store.shard_count:
+        raise PlanningError(
+            f"fragment {access.descriptor.fragment_name!r} declares {spec.shards} shards "
+            f"but store {access.store.name!r} has {access.store.shard_count}"
+        )
+    constants = access.constant_by_column()
+    if spec.shard_key in constants:
+        targets = spec.shards_for_predicates([("=", constants[spec.shard_key])])
+    else:
+        targets = spec.all_shards()
+    return targets, spec.shards
+
+
+def _access_node(group: DelegationGroup) -> LogicalAccess:
+    """A LogicalAccess for ``group``, with shard targets when applicable."""
+    if group.is_single():
+        selection = shard_selection(group.accesses[0])
+        if selection is not None:
+            targets, total = selection
+            return LogicalAccess(group, shard_targets=targets, shard_total=total)
+    return LogicalAccess(group)
+
+
 def build_logical_plan(
     rewriting: ConjunctiveQuery,
     manager: StorageDescriptorManager,
@@ -150,7 +209,7 @@ def build_logical_plan(
         needs_binding = any(
             access.requires_binding(parameters) for access in group.accesses
         )
-        access_node = LogicalAccess(group)
+        access_node = _access_node(group)
         if root is None:
             if needs_binding:
                 raise PlanningError(

@@ -17,13 +17,23 @@ Lowering decides *how* each logical step executes:
   wrapped in an :class:`~repro.runtime.parallel.Exchange` node, the explicit
   marker the engine uses to overlap store requests when executing with
   ``parallelism > 1`` (with ``parallelism == 1`` an Exchange is a pure
-  pass-through, so the serial plan semantics are unchanged).
+  pass-through, so the serial plan semantics are unchanged);
+* a scan of a fragment in a **sharded store** lowers to one delegated request
+  *per target shard* (each against the shard's child store, each wrapped in
+  its own Exchange) united by a
+  :class:`~repro.runtime.operators.ShardGather` — a pruned point access
+  contacts a single shard, an unpruned scan scatter-gathers across all of
+  them; :func:`push_partial_aggregation` additionally rewrites
+  ``Aggregate ∘ (Project ∘) ShardGather`` into per-shard
+  :class:`~repro.runtime.operators.PartialAggregate` branches merged by a
+  :class:`~repro.runtime.operators.MergeAggregate`, so each shard reduces its
+  own rows before anything crosses the exchange queues.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.query import ConjunctiveQuery
 from repro.errors import CatalogError, CostModelError, PlanningError, StoreError
@@ -40,18 +50,24 @@ from repro.runtime.operators import (
     Deduplicate,
     DelegatedRequest,
     HashJoin,
+    MergeAggregate,
     Operator,
+    PartialAggregate,
     Project,
+    ShardGather,
 )
 from repro.runtime.parallel import Exchange
 from repro.runtime.values import Binding
 from repro.stores.base import JoinRequest, LookupRequest, Predicate, ScanRequest, StoreRequest
+from repro.stores.sharded import ShardedStore
 from repro.translation.grouping import AtomAccess, DelegationGroup
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Mapping
+
     from repro.cost.cost_model import CostModel
 
-__all__ = ["PhysicalPlan", "PhysicalPlanner"]
+__all__ = ["PhysicalPlan", "PhysicalPlanner", "push_partial_aggregation"]
 
 
 @dataclass(slots=True)
@@ -96,7 +112,9 @@ class PhysicalPlanner:
 
     def _lower_node(self, node: LogicalNode, accesses_so_far: list[AtomAccess]) -> Operator:
         if isinstance(node, LogicalAccess):
-            operator = self._delegated_operator(node.group)
+            operator = self._delegated_operator(
+                node.group, shard_targets=node.shard_targets, shard_total=node.shard_total
+            )
             accesses_so_far.extend(node.group.accesses)
             return operator
         if isinstance(node, LogicalJoin):
@@ -120,7 +138,14 @@ class PhysicalPlanner:
         if algorithm == "bind":
             probe_columns = self._bound_probe_columns(group.accesses[0], accesses_so_far)
             return self._bind_join(left, group, probe_columns=probe_columns)
-        return HashJoin(left, self._delegated_operator(group))
+        return HashJoin(
+            left,
+            self._delegated_operator(
+                group,
+                shard_targets=node.right.shard_targets,
+                shard_total=node.right.shard_total,
+            ),
+        )
 
     # -- join algorithm choice ---------------------------------------------------------
     @staticmethod
@@ -164,16 +189,26 @@ class PhysicalPlanner:
             return "hash"
 
     # -- delegated requests --------------------------------------------------------------
-    def _delegated_operator(self, group: DelegationGroup) -> Operator:
+    def _delegated_operator(
+        self,
+        group: DelegationGroup,
+        shard_targets: tuple[int, ...] | None = None,
+        shard_total: int = 0,
+    ) -> Operator:
         """One delegation group as an Exchange-wrapped store request subtree.
 
         Each delegated request is an independent leaf of the plan — exactly
         the unit the scatter-gather runtime overlaps — so every one is marked
-        with an :class:`Exchange` here.
+        with an :class:`Exchange` here.  A scan of a sharded fragment becomes
+        one request per target shard under a :class:`ShardGather`.
         """
         if group.is_single():
             access = group.accesses[0]
             request, output, residual = self._scan_request(access)
+            if shard_targets is not None and isinstance(request, ScanRequest):
+                return self._sharded_scan(
+                    access, request, output, residual, shard_targets, shard_total
+                )
             operator = DelegatedRequest(
                 store=group.store,
                 request=request,
@@ -216,6 +251,46 @@ class PhysicalPlanner:
             ),
             label=label,
         )
+
+    def _sharded_scan(
+        self,
+        access: AtomAccess,
+        request: ScanRequest,
+        output: dict[str, str],
+        residual: dict[str, object],
+        shard_targets: tuple[int, ...],
+        shard_total: int,
+    ) -> Operator:
+        """Scatter a sharded fragment scan: one delegated request per shard.
+
+        Each per-shard request targets the shard's *child* store directly and
+        is wrapped in its own Exchange, so the scatter-gather executor
+        overlaps the shard round-trips; the :class:`ShardGather` above them
+        unions the disjoint shard streams and accounts contacted vs pruned
+        shards.  A pruned access (one target) keeps the same shape — a
+        single-branch gather — so plan rendering and metrics stay uniform.
+        """
+        store = access.store
+        if not isinstance(store, ShardedStore):
+            raise PlanningError(
+                f"fragment {access.descriptor.fragment_name!r} has shard targets but "
+                f"store {store.name!r} is not sharded"
+            )
+        fragment = access.descriptor.fragment_name
+        collection = access.descriptor.layout.collection
+        branches: list[Operator] = []
+        for index in shard_targets:
+            operator = DelegatedRequest(
+                store=store.shard(index),
+                request=request,
+                output=output,
+                constants=residual,
+                label=f"{collection}#{index}",
+                fragment=fragment,
+                shard=index,
+            )
+            branches.append(Exchange(operator, label=f"{fragment}#{index}"))
+        return ShardGather(branches, fragment=fragment, shards_total=shard_total)
 
     def _scan_request(
         self, access: AtomAccess
@@ -384,3 +459,47 @@ class PhysicalPlanner:
             constants=residual,
             label=layout.collection,
         )
+
+
+# -- partial aggregation pushdown ------------------------------------------------------
+def push_partial_aggregation(
+    root: Operator,
+    group_by: Sequence[str],
+    aggregations: "Mapping[str, tuple[str, str | None]]",
+) -> Operator | None:
+    """Rewrite ``Aggregate(root)`` into per-shard partials when ``root`` allows.
+
+    Applies when the plan is a (possibly projected) single sharded fragment
+    access — ``Project(ShardGather(...))`` or a bare ``ShardGather`` — and
+    every aggregation function decomposes (count/sum/min/max/avg).  Each
+    gather branch is rebuilt as ``Exchange(PartialAggregate(shard scan))`` so
+    the blocking per-shard reduction runs on the Exchange worker that owns
+    the shard, and a :class:`MergeAggregate` above the gather combines the
+    partial states.  Returns ``None`` when the shape does not match; the
+    caller then falls back to a plain mediator-side ``Aggregate``.
+    """
+    node = root
+    projected: set[str] | None = None
+    if isinstance(node, Project):
+        projected = set(node.variables)
+        node = node.children()[0]
+    if not isinstance(node, ShardGather):
+        return None
+    needed = set(group_by) | {
+        column for _, column in aggregations.values() if column is not None
+    }
+    if projected is not None and not needed <= projected:
+        return None
+    if any(function not in {"count", "sum", "min", "max", "avg"} for function, _ in aggregations.values()):
+        return None
+    branches: list[Operator] = []
+    for branch in node.branches:
+        inner = branch.children()[0] if isinstance(branch, Exchange) else branch
+        label = getattr(branch, "label", "")
+        branches.append(
+            Exchange(PartialAggregate(inner, group_by, aggregations), label=label)
+        )
+    gathered = ShardGather(
+        branches, fragment=node.fragment, shards_total=node.shards_total
+    )
+    return MergeAggregate(gathered, group_by, aggregations)

@@ -11,9 +11,12 @@ from repro.runtime.operators import (
     ExecutionContext,
     Filter,
     HashJoin,
+    MergeAggregate,
     NestedConstruct,
     Operator,
+    PartialAggregate,
     Project,
+    ShardGather,
 )
 from repro.runtime.parallel import DEFAULT_QUEUE_DEPTH, Exchange, ExecutorPool
 from repro.runtime.values import Binding, merge_bindings, nest_rows, project_binding
@@ -41,6 +44,9 @@ __all__ = [
     "Deduplicate",
     "NestedConstruct",
     "Aggregate",
+    "ShardGather",
+    "PartialAggregate",
+    "MergeAggregate",
     "Binding",
     "merge_bindings",
     "project_binding",

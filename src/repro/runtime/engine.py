@@ -50,6 +50,8 @@ class StoreBreakdown:
     rows_scanned: int = 0
     rows_returned: int = 0
     index_lookups: int = 0
+    partitions_used: int = 0
+    partitions_pruned: int = 0
     elapsed_seconds: float = 0.0
 
 
@@ -67,6 +69,10 @@ class QueryResult:
     parallelism: int = 1
     max_concurrent_requests: int = 0
     observed_cardinalities: dict[str, int] = field(default_factory=dict)
+    observed_shard_cardinalities: dict[str, dict[int, int]] = field(default_factory=dict)
+    shards_contacted: int = 0
+    shards_pruned: int = 0
+    exchange_rows: int = 0
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -92,6 +98,10 @@ class QueryResult:
             "cache_hit": self.cache_hit,
             "parallelism": self.parallelism,
             "max_concurrent_requests": self.max_concurrent_requests,
+            "shards": {
+                "contacted": self.shards_contacted,
+                "pruned": self.shards_pruned,
+            },
             "stores": {
                 name: {
                     "requests": breakdown.requests,
@@ -190,11 +200,20 @@ class ExecutionEngine:
             entry.rows_scanned += metrics.rows_scanned
             entry.rows_returned += metrics.rows_returned
             entry.index_lookups += metrics.index_lookups
+            entry.partitions_used += metrics.partitions_used
+            entry.partitions_pruned += metrics.partitions_pruned
             entry.elapsed_seconds += metrics.elapsed_seconds
 
         observed: dict[str, int] = {}
-        for fragment, observed_rows in context.observations:
-            observed[fragment] = observed_rows
+        observed_shards: dict[str, dict[int, int]] = {}
+        for fragment, shard, observed_rows in context.observations:
+            if shard is None:
+                observed[fragment] = observed_rows
+            else:
+                observed_shards.setdefault(fragment, {})[shard] = observed_rows
+
+        shards_contacted = sum(contacted for contacted, _ in context.shard_reports)
+        shards_pruned = sum(pruned for _, pruned in context.shard_reports)
 
         return QueryResult(
             rows=rows,
@@ -206,4 +225,8 @@ class ExecutionEngine:
             parallelism=width,
             max_concurrent_requests=context.tracker.peak,
             observed_cardinalities=observed,
+            observed_shard_cardinalities=observed_shards,
+            shards_contacted=shards_contacted,
+            shards_pruned=shards_pruned,
+            exchange_rows=context.exchange_rows,
         )

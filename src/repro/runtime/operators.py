@@ -52,6 +52,9 @@ __all__ = [
     "Deduplicate",
     "NestedConstruct",
     "Aggregate",
+    "ShardGather",
+    "PartialAggregate",
+    "MergeAggregate",
 ]
 
 
@@ -104,7 +107,9 @@ class ExecutionContext:
     runtime_rows_processed: int = 0
     pool: object | None = None
     tracker: ConcurrencyTracker = field(default_factory=ConcurrencyTracker)
-    observations: list[tuple[str, int]] = field(default_factory=list)
+    observations: list[tuple[str, int | None, int]] = field(default_factory=list)
+    shard_reports: list[tuple[int, int]] = field(default_factory=list)
+    exchange_rows: int = 0
     exchange_states: dict[int, object] = field(default_factory=dict)
     merge_lock: threading.Lock = field(default_factory=threading.Lock)
 
@@ -113,9 +118,17 @@ class ExecutionContext:
         metrics = result.metrics if isinstance(result, StoreResult) else result
         self.store_results.append((store_name, metrics))
 
-    def observe(self, fragment: str, rows: int) -> None:
-        """Record the observed cardinality of one fully-drained fragment scan."""
-        self.observations.append((fragment, rows))
+    def observe(self, fragment: str, rows: int, shard: int | None = None) -> None:
+        """Record the observed cardinality of one fully-drained fragment scan.
+
+        ``shard`` identifies a per-shard scan of a sharded fragment; ``None``
+        means the scan covered the whole fragment.
+        """
+        self.observations.append((fragment, shard, rows))
+
+    def report_shards(self, contacted: int, pruned: int) -> None:
+        """Record one sharded access: how many shards it touched vs skipped."""
+        self.shard_reports.append((contacted, pruned))
 
     def spawn(self) -> "ExecutionContext":
         """A sub-context for one Exchange worker (shared tracker, own metrics)."""
@@ -136,6 +149,8 @@ class ExecutionContext:
             self.store_results.extend(child.store_results)
             self.runtime_rows_processed += child.runtime_rows_processed
             self.observations.extend(child.observations)
+            self.shard_reports.extend(child.shard_reports)
+            self.exchange_rows += child.exchange_rows
 
     def shutdown_exchanges(self) -> None:
         """Cancel and join every Exchange worker started under this context."""
@@ -218,6 +233,7 @@ class DelegatedRequest(Operator):
         constants: Mapping[str, object] | None = None,
         label: str | None = None,
         fragment: str | None = None,
+        shard: int | None = None,
     ) -> None:
         self._store = store
         self._request = request
@@ -225,12 +241,16 @@ class DelegatedRequest(Operator):
         self._constants = dict(constants or {})
         self._label = label or getattr(request, "collection", type(request).__name__)
         self._fragment = fragment
+        self._shard = shard
         self._observable = (
             fragment is not None
             and isinstance(request, ScanRequest)
             and not request.predicates
             and request.limit is None
         )
+        # Requests routed *through* a sharded store (rather than fanned out by
+        # the planner) report their own contacted/pruned shard counts.
+        self._sharded_router = getattr(store, "shard_count", None) is not None
 
     def _batches(self, context: ExecutionContext) -> Iterator[RowBatch]:
         stream = self._store.execute_stream(self._request, context.batch_size)
@@ -260,12 +280,16 @@ class DelegatedRequest(Operator):
             # this operator is abandoned mid-stream (LIMIT early exit).
             chunks.close()
             context.record(self._store.name, stream.metrics)
+            if self._sharded_router:
+                context.report_shards(
+                    stream.metrics.partitions_used, stream.metrics.partitions_pruned
+                )
             context.tracker.exit()
         # Only reached when the stream ran to exhaustion (an abandoned
         # generator never resumes past the finally): the full-scan row count
         # is a trustworthy cardinality observation for the fragment.
         if self._observable:
-            context.observe(self._fragment, stream.metrics.rows_returned)
+            context.observe(self._fragment, stream.metrics.rows_returned, self._shard)
 
     def describe(self) -> str:
         return (
@@ -539,6 +563,11 @@ class Project(Operator):
         self._variables = tuple(variables)
         self._renaming = dict(renaming or {})
 
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """The projected variable names (pre-renaming)."""
+        return self._variables
+
     def children(self) -> Sequence[Operator]:
         return (self._child,)
 
@@ -718,3 +747,196 @@ class Aggregate(Operator):
 
     def describe(self) -> str:
         return f"Aggregate[by {', '.join(self._group_by) or '()'}]"
+
+
+class ShardGather(Operator):
+    """Union the per-shard branches of one sharded fragment access.
+
+    The physical planner lowers an unpruned scan of a sharded fragment into
+    one delegated request per shard, each wrapped in an
+    :class:`~repro.runtime.parallel.Exchange`; this operator concatenates
+    their batch streams (rows live in exactly one shard, so the union is
+    disjoint — no deduplication is needed) and records the shards-contacted /
+    shards-pruned accounting that :meth:`QueryResult.summary` surfaces.  With
+    a pool the branches fill their queues concurrently while this operator
+    drains them in shard order; serially it is a plain sequential union.
+    """
+
+    def __init__(
+        self,
+        branches: Sequence[Operator],
+        fragment: str = "",
+        shards_total: int = 0,
+    ) -> None:
+        if not branches:
+            raise ExecutionError("a shard gather needs at least one branch")
+        self._branches = tuple(branches)
+        self._fragment = fragment
+        self._shards_total = max(shards_total, len(self._branches))
+
+    @property
+    def branches(self) -> tuple[Operator, ...]:
+        """The per-shard sub-plans (usually Exchange-wrapped)."""
+        return self._branches
+
+    @property
+    def fragment(self) -> str:
+        """The catalog fragment this gather serves."""
+        return self._fragment
+
+    @property
+    def shards_total(self) -> int:
+        """How many shards the fragment has (contacted + pruned)."""
+        return self._shards_total
+
+    def children(self) -> Sequence[Operator]:
+        return self._branches
+
+    def _batches(self, context: ExecutionContext) -> Iterator[RowBatch]:
+        context.report_shards(
+            len(self._branches), self._shards_total - len(self._branches)
+        )
+        for branch in self._branches:
+            yield from branch.batches(context)
+
+    def describe(self) -> str:
+        label = f"{self._fragment}, " if self._fragment else ""
+        return f"ShardGather[{label}{len(self._branches)}/{self._shards_total} shards]"
+
+
+def partial_aggregations(
+    aggregations: Mapping[str, tuple[str, str | None]],
+) -> dict[str, tuple[str, str | None]]:
+    """The per-shard decomposition of an aggregation spec.
+
+    count/sum/min/max are their own partials; ``avg`` splits into a partial
+    sum and a partial non-null count (merged as sum-of-sums over
+    sum-of-counts).
+    """
+    partial: dict[str, tuple[str, str | None]] = {}
+    for name, (function, column) in aggregations.items():
+        if function == "avg":
+            partial[f"{name}__psum"] = ("sum", column)
+            partial[f"{name}__pcount"] = ("count", column)
+        else:
+            partial[name] = (function, column)
+    return partial
+
+
+class PartialAggregate(Aggregate):
+    """Per-shard pre-aggregation: the shard-local half of a pushed-down aggregate.
+
+    Evaluates the decomposed (partial) aggregation functions over one shard's
+    rows; a :class:`MergeAggregate` above the gather combines the partial
+    states.  Pushing the blocking aggregation below the Exchange means each
+    shard's rows are reduced on the worker that fetched them — only one small
+    row per group crosses the queue instead of the shard's whole scan.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        group_by: Sequence[str],
+        aggregations: Mapping[str, tuple[str, str | None]],
+    ) -> None:
+        super().__init__(child, group_by, partial_aggregations(aggregations))
+        self._original = dict(aggregations)
+
+    def describe(self) -> str:
+        return f"PartialAggregate[by {', '.join(self._group_by) or '()'}]"
+
+
+class MergeAggregate(Operator):
+    """Combine per-shard partial aggregates into final groups.
+
+    The child yields partial rows (``group_by`` columns plus the decomposed
+    aggregate columns of :func:`partial_aggregations`), at most one per group
+    per shard.  States merge associatively: counts and sums add, min/max
+    combine ignoring ``None`` (a shard where every value was null), and
+    ``avg`` divides the merged sum by the merged non-null count.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        group_by: Sequence[str],
+        aggregations: Mapping[str, tuple[str, str | None]],
+    ) -> None:
+        for name, (function, _) in aggregations.items():
+            if function not in Aggregate._FUNCTIONS:
+                raise ExecutionError(
+                    f"unsupported aggregation function {function!r} for {name!r}"
+                )
+        self._child = child
+        self._group_by = tuple(group_by)
+        self._aggregations = dict(aggregations)
+
+    def children(self) -> Sequence[Operator]:
+        return (self._child,)
+
+    def _batches(self, context: ExecutionContext) -> Iterator[RowBatch]:
+        partial_columns = tuple(partial_aggregations(self._aggregations))
+        schema: tuple[str, ...] | None = None
+        group_indexer: list[int | None] = []
+        partial_indexer: dict[str, int | None] = {}
+        groups: dict[tuple, dict[str, object]] = {}
+        for batch in self._child.batches(context):
+            if batch.columns != schema:
+                schema = batch.columns
+                group_indexer = batch.indexer(self._group_by)
+                partial_indexer = {
+                    column: (batch.columns.index(column) if column in batch.columns else None)
+                    for column in partial_columns
+                }
+            for row in batch.rows:
+                key = tuple(row[i] if i is not None else None for i in group_indexer)
+                state = groups.setdefault(key, {})
+                for name, (function, _) in self._aggregations.items():
+                    if function == "avg":
+                        psum_index = partial_indexer.get(f"{name}__psum")
+                        pcount_index = partial_indexer.get(f"{name}__pcount")
+                        psum = row[psum_index] if psum_index is not None else 0
+                        pcount = row[pcount_index] if pcount_index is not None else 0
+                        total, count = state.get(name, (0, 0))
+                        state[name] = (total + (psum or 0), count + (pcount or 0))
+                        continue
+                    index = partial_indexer.get(name)
+                    value = row[index] if index is not None else None
+                    if function in ("count", "sum"):
+                        state[name] = state.get(name, 0) + (value or 0)
+                    elif function == "min":
+                        current = state.get(name)
+                        if value is not None:
+                            state[name] = value if current is None else min(current, value)
+                        else:
+                            state.setdefault(name, None)
+                    elif function == "max":
+                        current = state.get(name)
+                        if value is not None:
+                            state[name] = value if current is None else max(current, value)
+                        else:
+                            state.setdefault(name, None)
+
+        output_schema = self._group_by + tuple(self._aggregations)
+        builder = BatchBuilder(output_schema, context.batch_size)
+        produced = 0
+        for key, state in groups.items():
+            merged: list[object] = []
+            for name, (function, _) in self._aggregations.items():
+                if function == "avg":
+                    total, count = state.get(name, (0, 0))
+                    merged.append(total / count if count else None)
+                else:
+                    merged.append(state.get(name))
+            full = builder.add(key + tuple(merged))
+            if full is not None:
+                produced += len(full)
+                yield full
+        tail = builder.flush()
+        if tail is not None:
+            produced += len(tail)
+            yield tail
+        context.runtime_rows_processed += produced
+
+    def describe(self) -> str:
+        return f"MergeAggregate[by {', '.join(self._group_by) or '()'}]"

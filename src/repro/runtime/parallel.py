@@ -124,6 +124,9 @@ class ExchangeState:
             source = self._child.batches(self._sub)
             try:
                 for batch in source:
+                    # Rows forwarded through the queue: the cross-thread data
+                    # volume (partial-aggregation pushdown exists to shrink it).
+                    self._sub.exchange_rows += len(batch)
                     if not self._put(batch):
                         break
             finally:
@@ -211,6 +214,11 @@ class Exchange(Operator):
         self._child = child
         self._label = label
         self._queue_depth = queue_depth
+
+    @property
+    def label(self) -> str:
+        """The display label (usually the wrapped fragment's name)."""
+        return self._label
 
     def children(self):
         return (self._child,)

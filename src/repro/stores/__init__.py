@@ -24,6 +24,8 @@ from repro.stores.fulltext import FullTextStore
 from repro.stores.keyvalue import KeyValueStore
 from repro.stores.parallel import ParallelStore
 from repro.stores.relational import RelationalStore
+from repro.stores.sharded import ShardedStore
+from repro.stores.sharding import ShardingSpec, stable_hash
 
 __all__ = [
     "Store",
@@ -42,4 +44,7 @@ __all__ = [
     "KeyValueStore",
     "FullTextStore",
     "ParallelStore",
+    "ShardedStore",
+    "ShardingSpec",
+    "stable_hash",
 ]

@@ -148,6 +148,7 @@ class StoreMetrics:
     rows_returned: int = 0
     index_lookups: int = 0
     partitions_used: int = 0
+    partitions_pruned: int = 0
     elapsed_seconds: float = 0.0
 
     def merge(self, other: "StoreMetrics") -> "StoreMetrics":
@@ -157,6 +158,7 @@ class StoreMetrics:
             rows_returned=self.rows_returned + other.rows_returned,
             index_lookups=self.index_lookups + other.index_lookups,
             partitions_used=self.partitions_used + other.partitions_used,
+            partitions_pruned=self.partitions_pruned + other.partitions_pruned,
             elapsed_seconds=self.elapsed_seconds + other.elapsed_seconds,
         )
 
@@ -233,6 +235,7 @@ class StoreResultStream:
                 rows_returned=self._returned,
                 index_lookups=self._base_metrics.index_lookups,
                 partitions_used=self._base_metrics.partitions_used,
+                partitions_pruned=self._base_metrics.partitions_pruned,
                 elapsed_seconds=self._elapsed,
             )
             self._store._note_request(self.metrics)

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.errors import SchemaError, StoreError, UnsupportedOperationError
+from repro.stores.sharding import stable_hash
 from repro.stores.base import (
     JoinRequest,
     LookupRequest,
@@ -39,9 +40,14 @@ class _Dataset:
         self.indexes: dict[str, list[dict[object, list[int]]]] = {}
 
     def partition_of(self, row: Mapping[str, object]) -> int:
+        # A stable hash, not the per-process-salted builtin: partition
+        # assignment (and the per-partition metrics derived from it) must be
+        # reproducible across runs.
         if self.partition_column is None:
-            return hash(repr(sorted(row.items()))) % len(self.partitions)
-        return hash(row.get(self.partition_column)) % len(self.partitions)
+            return stable_hash(tuple(sorted((k, repr(v)) for k, v in row.items()))) % len(
+                self.partitions
+            )
+        return stable_hash(row.get(self.partition_column)) % len(self.partitions)
 
     def all_rows(self) -> Iterable[dict[str, object]]:
         for partition in self.partitions:
@@ -202,7 +208,7 @@ class ParallelStore(Store):
         metrics = StoreMetrics()
         rows: list[dict[str, object]] = []
         for key in request.keys:
-            partition_number = hash(key) % len(dataset.partitions)
+            partition_number = stable_hash(key) % len(dataset.partitions)
             partition = dataset.partitions[partition_number]
             metrics.partitions_used = max(metrics.partitions_used, 1)
             metrics.index_lookups += 1

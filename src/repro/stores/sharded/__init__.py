@@ -1,0 +1,6 @@
+"""Horizontal sharding: the multi-instance router store."""
+
+from repro.stores.sharded.store import ShardedStore
+from repro.stores.sharding import ShardingSpec, stable_hash
+
+__all__ = ["ShardedStore", "ShardingSpec", "stable_hash"]

@@ -1,0 +1,331 @@
+"""The sharded multi-instance store: one logical store over N homogeneous shards.
+
+A :class:`ShardedStore` routes requests for a collection across ``N`` child
+stores of the same kind (N simulated Postgres instances, N document stores,
+...).  Each collection is spread according to a
+:class:`~repro.stores.sharding.ShardingSpec` — hash or range on a shard-key
+column — registered when the collection is materialized.
+
+The router serves the common store-request micro-IR:
+
+* **scans** are pruned first: predicates on the shard-key column cut the set
+  of child stores that can hold matching rows (equality → one shard under
+  either strategy, range operators → a boundary interval under range
+  sharding), and only the surviving shards are contacted;
+* **lookups** route each key straight to its shard;
+* per-request metrics report ``partitions_used`` (shards contacted) and
+  ``partitions_pruned`` so the mediator can surface pruning effectiveness.
+
+Executing through the router is *serial* — each contacted shard is queried in
+turn, paying the sum of the child latencies.  The physical planner therefore
+fans unpruned scans out as one delegated request **per shard**, each wrapped
+in an :class:`~repro.runtime.parallel.Exchange`, so the scatter-gather
+executor overlaps the shard requests and the query pays roughly the max; the
+per-shard child stores are exposed via :meth:`shard` for exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.errors import SchemaError, StoreError, UnsupportedOperationError
+from repro.stores.base import (
+    JoinRequest,
+    LookupRequest,
+    Predicate,
+    ScanRequest,
+    SearchRequest,
+    Store,
+    StoreCapabilities,
+    StoreMetrics,
+    StoreRequest,
+    StoreResult,
+)
+from repro.stores.sharding import ShardingSpec
+
+__all__ = ["ShardedStore"]
+
+
+class ShardedStore(Store):
+    """A router spreading collections across homogeneous child stores."""
+
+    def __init__(self, name: str, shards: Sequence[Store], latency: float = 0.0) -> None:
+        super().__init__(name, latency=latency)
+        if not shards:
+            raise StoreError("a sharded store needs at least one shard")
+        kinds = {shard.capabilities().data_model for shard in shards}
+        if len(kinds) > 1:
+            raise StoreError(f"shards must be homogeneous, got data models {sorted(kinds)}")
+        self._shards: tuple[Store, ...] = tuple(shards)
+        self._specs: dict[str, ShardingSpec] = {}
+
+    @classmethod
+    def homogeneous(
+        cls,
+        name: str,
+        shards: int,
+        factory: Callable[[str], Store],
+        latency: float = 0.0,
+    ) -> "ShardedStore":
+        """Build a router over ``shards`` children created by ``factory(name)``."""
+        if shards < 1:
+            raise StoreError("a sharded store needs at least one shard")
+        children = [factory(f"{name}.{index}") for index in range(shards)]
+        return cls(name, children, latency=latency)
+
+    # -- topology ------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        """Number of child store instances."""
+        return len(self._shards)
+
+    def shard(self, index: int) -> Store:
+        """The child store holding shard ``index``."""
+        if not 0 <= index < len(self._shards):
+            raise StoreError(f"store {self.name!r} has no shard {index}")
+        return self._shards[index]
+
+    def shard_stores(self) -> tuple[Store, ...]:
+        """All child stores, in shard order."""
+        return self._shards
+
+    def set_sharding(self, collection: str, spec: ShardingSpec) -> None:
+        """Register how ``collection`` is spread (store-side shard-key name)."""
+        if spec.shards != len(self._shards):
+            raise StoreError(
+                f"spec shards {spec.shards} does not match store {self.name!r} "
+                f"with {len(self._shards)} shards"
+            )
+        self._specs[collection] = spec
+
+    def sharding(self, collection: str) -> ShardingSpec | None:
+        """The sharding spec of ``collection`` (None when never registered)."""
+        return self._specs.get(collection)
+
+    def shard_sizes(self, collection: str) -> tuple[int, ...]:
+        """Row count of ``collection`` per shard (0 where absent)."""
+        sizes = []
+        for child in self._shards:
+            if collection in child.collections():
+                sizes.append(child.collection_size(collection))
+            else:
+                sizes.append(0)
+        return tuple(sizes)
+
+    def describe_sharding(self) -> Mapping[str, object]:
+        """JSON-friendly per-collection sharding summary."""
+        return {
+            collection: {**spec.describe(), "shard_sizes": list(self.shard_sizes(collection))}
+            for collection, spec in self._specs.items()
+        }
+
+    # -- data loading ---------------------------------------------------------------
+    def insert(self, collection: str, rows: Iterable[Mapping[str, object]]) -> int:
+        """Route ``rows`` to their shards and insert via the children.
+
+        The collection must have a sharding spec and the children must expose
+        an ``insert(collection, rows)`` API (relational / document / parallel
+        stores do); the per-shard collections must already exist — the
+        materialization path creates them.
+        """
+        spec = self._specs.get(collection)
+        if spec is None:
+            raise StoreError(
+                f"collection {collection!r} has no sharding spec in store {self.name!r}"
+            )
+        grouped: dict[int, list[dict[str, object]]] = {}
+        for row in rows:
+            if not isinstance(row, Mapping):
+                raise SchemaError("sharded store rows must be mappings")
+            grouped.setdefault(spec.route(row.get(spec.shard_key)), []).append(dict(row))
+        written = 0
+        for index, shard_rows in grouped.items():
+            child = self._shards[index]
+            inserter = getattr(child, "insert", None)
+            if inserter is None:
+                raise UnsupportedOperationError(
+                    f"shard store {child.name!r} has no insert API; materialize instead"
+                )
+            written += inserter(collection, shard_rows)
+        return written
+
+    def create_index(self, collection: str, column: str) -> None:
+        """Create a per-shard index on ``column`` where children support it."""
+        for child in self._shards:
+            indexer = getattr(child, "create_index", None)
+            if indexer is not None and collection in child.collections():
+                indexer(collection, column)
+
+    # -- store interface ---------------------------------------------------------------
+    def capabilities(self) -> StoreCapabilities:
+        template = self._shards[0].capabilities()
+        # Cross-shard joins and aggregations are the mediator's job (the
+        # planner fans out per-shard requests and merges); advertising them
+        # here would delegate work the router cannot combine correctly.
+        return replace(
+            template,
+            name=self.name,
+            supports_join=False,
+            supports_aggregation=False,
+            parallel=True,
+        )
+
+    def collections(self) -> Sequence[str]:
+        seen: dict[str, None] = {}
+        for child in self._shards:
+            for collection in child.collections():
+                seen.setdefault(collection, None)
+        for collection in self._specs:
+            seen.setdefault(collection, None)
+        return tuple(seen)
+
+    def collection_size(self, collection: str) -> int:
+        return sum(self.shard_sizes(collection))
+
+    def column_statistics(self, collection: str, column: str) -> Mapping[str, object]:
+        count = 0
+        distinct = 0
+        indexed = True
+        contributing = 0
+        for child in self._shards:
+            if collection not in child.collections():
+                continue
+            contributing += 1
+            stats = child.column_statistics(collection, column)
+            count += int(stats.get("count", 0) or 0)
+            distinct += int(stats.get("distinct", 0) or 0)
+            indexed = indexed and bool(stats.get("indexed"))
+        spec = self._specs.get(collection)
+        # Summing per-shard distinct counts is exact for the shard-key column
+        # (a value lives in exactly one shard) and an upper bound otherwise.
+        if spec is None or spec.shard_key != column:
+            distinct = min(distinct, count)
+        return {
+            "count": count,
+            "distinct": distinct,
+            "indexed": indexed and contributing > 0,
+            "shards": len(self._shards),
+            "sharded_on": bool(spec is not None and spec.shard_key == column),
+        }
+
+    # -- execution ---------------------------------------------------------------------
+    def _execute(self, request: StoreRequest) -> StoreResult:
+        if isinstance(request, ScanRequest):
+            return self._execute_scan(request)
+        if isinstance(request, LookupRequest):
+            return self._execute_lookup(request)
+        if isinstance(request, SearchRequest):
+            return self._execute_search(request)
+        if isinstance(request, JoinRequest):
+            raise self._reject("store-side joins (the mediator joins shard results)")
+        raise UnsupportedOperationError(f"unknown request type {type(request).__name__}")
+
+    def _targets_for_scan(self, request: ScanRequest) -> tuple[int, ...]:
+        """Shards that can hold rows matching the scan's shard-key predicates."""
+        spec = self._specs.get(request.collection)
+        if spec is None:
+            return tuple(range(len(self._shards)))
+        constraints = [
+            (predicate.op, predicate.value)
+            for predicate in request.predicates
+            if predicate.column == spec.shard_key
+        ]
+        return spec.shards_for_predicates(constraints)
+
+    def _execute_scan(self, request: ScanRequest) -> StoreResult:
+        self._check_collection(request.collection)
+        targets = self._targets_for_scan(request)
+        metrics = StoreMetrics()
+        rows: list[dict[str, object]] = []
+        contacted = 0
+        for index in targets:
+            child = self._shards[index]
+            if request.collection not in child.collections():
+                continue
+            contacted += 1
+            result = child.execute(request)
+            metrics = metrics.merge(result.metrics)
+            rows.extend(result.rows)
+            if request.limit is not None and len(rows) >= request.limit:
+                break
+        if request.limit is not None:
+            rows = rows[: request.limit]
+        metrics.partitions_used = contacted
+        metrics.partitions_pruned = len(self._shards) - contacted
+        return StoreResult(rows=rows, metrics=metrics)
+
+    def _execute_lookup(self, request: LookupRequest) -> StoreResult:
+        """Route each key to its shard.
+
+        Lookup keys are by contract values of the *shard-key* column (a
+        ``LookupRequest`` carries no column name, so there is nothing else to
+        route by); the materialization path rejects lookup fragments keyed on
+        any other column.
+        """
+        self._check_collection(request.collection)
+        spec = self._specs.get(request.collection)
+        if spec is None:
+            raise StoreError(
+                f"collection {request.collection!r} has no sharding spec; "
+                "key lookups need one to route"
+            )
+        metrics = StoreMetrics()
+        rows: list[dict[str, object]] = []
+        contacted: set[int] = set()
+        for key in request.keys:
+            index = spec.route(key)
+            contacted.add(index)
+            child = self._shards[index]
+            if request.collection not in child.collections():
+                continue
+            if child.capabilities().requires_key_lookup:
+                probe: StoreRequest = LookupRequest(
+                    collection=request.collection,
+                    keys=(key,),
+                    projection=request.projection,
+                )
+            else:
+                probe = ScanRequest(
+                    collection=request.collection,
+                    predicates=(Predicate(spec.shard_key, "=", key),),
+                    projection=request.projection,
+                )
+            result = child.execute(probe)
+            metrics = metrics.merge(result.metrics)
+            rows.extend(result.rows)
+        metrics.partitions_used = len(contacted)
+        metrics.partitions_pruned = len(self._shards) - len(contacted)
+        return StoreResult(rows=rows, metrics=metrics)
+
+    def _execute_search(self, request: SearchRequest) -> StoreResult:
+        if not self.capabilities().supports_text_search:
+            raise self._reject("full-text search")
+        self._check_collection(request.collection)
+        metrics = StoreMetrics()
+        rows: list[dict[str, object]] = []
+        contacted = 0
+        for child in self._shards:
+            if request.collection not in child.collections():
+                continue
+            contacted += 1
+            result = child.execute(request)
+            metrics = metrics.merge(result.metrics)
+            rows.extend(result.rows)
+        if request.limit is not None:
+            rows = rows[: request.limit]
+        metrics.partitions_used = contacted
+        metrics.partitions_pruned = len(self._shards) - contacted
+        return StoreResult(rows=rows, metrics=metrics)
+
+    def _check_collection(self, collection: str) -> None:
+        if collection not in self.collections():
+            raise StoreError(
+                f"collection {collection!r} does not exist in store {self.name!r}"
+            )
+
+    def reset_metrics(self) -> None:
+        """Zero the router's and every child's cumulative counters."""
+        super().reset_metrics()
+        for child in self._shards:
+            child.reset_metrics()

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import Estocada
-from repro.catalog import AccessMethod, StorageDescriptor, StorageLayout
+from repro.catalog import AccessMethod, ShardingSpec, StorageDescriptor, StorageLayout
 from repro.core import Atom, ConjunctiveQuery, ViewDefinition
 from repro.datamodel import TableSchema
 from repro.stores import DocumentStore, FullTextStore, KeyValueStore, ParallelStore, RelationalStore
@@ -126,6 +126,80 @@ def build_marketplace_estocada(data, algorithm: str = "pacb") -> Estocada:
     return est
 
 
+def build_sharded_marketplace_estocada(
+    data, shards: int = 8, algorithm: str = "pacb", latency: float = 0.0
+) -> Estocada:
+    """The marketplace over sharded stores: purchases and visits hash-sharded on uid.
+
+    Users stay in a single relational instance; the two high-volume
+    collections are spread across ``shards`` homogeneous relational instances
+    each (one sharded store per collection, as separate services would be).
+    ``latency`` is the simulated per-request service latency of every shard
+    instance.
+    """
+    est = Estocada(algorithm=algorithm)
+    est.register_store("pg", RelationalStore("pg", latency=latency))
+    est.register_sharded_store(
+        "shardpg", shards, lambda name: RelationalStore(name, latency=latency)
+    )
+    est.register_sharded_store(
+        "shardlog", shards, lambda name: RelationalStore(name, latency=latency)
+    )
+    est.register_relational_dataset(
+        "shop",
+        [
+            TableSchema("users", ("uid", "name", "city", "payment", "preferred_category"), primary_key=("uid",)),
+            TableSchema("purchases", ("uid", "sku", "category", "quantity", "price")),
+            TableSchema("visits", ("uid", "sku", "category", "duration_ms")),
+        ],
+    )
+
+    def view(name, head, body, columns):
+        return ViewDefinition(name, ConjunctiveQuery(name, head, body), column_names=columns)
+
+    est.register_fragment(
+        StorageDescriptor(
+            "F_users", "shop", "pg",
+            view("F_users", ["?u", "?n", "?c", "?p", "?pc"], [Atom("users", ["?u", "?n", "?c", "?p", "?pc"])],
+                 ("uid", "name", "city", "payment", "preferred_category")),
+            StorageLayout("users"), AccessMethod("scan"),
+        ),
+        rows=[
+            {"uid": u["uid"], "name": u["name"], "city": u["city"], "payment": u["payment"],
+             "preferred_category": u["preferred_category"]}
+            for u in data.users
+        ],
+        indexes=("uid",),
+    )
+    est.register_fragment(
+        StorageDescriptor(
+            "F_purchases", "shop", "shardpg",
+            view("F_purchases", ["?u", "?s", "?c", "?q", "?pr"],
+                 [Atom("purchases", ["?u", "?s", "?c", "?q", "?pr"])],
+                 ("uid", "sku", "category", "quantity", "price")),
+            StorageLayout("purchases"), AccessMethod("scan"),
+            sharding=ShardingSpec("uid", shards),
+        ),
+        rows=data.purchases(),
+        indexes=("uid", "sku"),
+    )
+    est.register_fragment(
+        StorageDescriptor(
+            "F_visits", "shop", "shardlog",
+            view("F_visits", ["?u", "?s", "?c", "?d"], [Atom("visits", ["?u", "?s", "?c", "?d"])],
+                 ("uid", "sku", "category", "duration_ms")),
+            StorageLayout("visits"), AccessMethod("scan"),
+            sharding=ShardingSpec("uid", shards),
+        ),
+        rows=[
+            {"uid": v["uid"], "sku": v["sku"], "category": v["category"], "duration_ms": v["duration_ms"]}
+            for v in data.weblog
+        ],
+        indexes=("uid",),
+    )
+    return est
+
+
 @pytest.fixture
 def marketplace_estocada(marketplace_data):
     """A fresh, fully-wired ESTOCADA deployment for each test."""
@@ -136,3 +210,9 @@ def marketplace_estocada(marketplace_data):
 def marketplace_builder():
     """The deployment builder itself, for tests that need several instances."""
     return build_marketplace_estocada
+
+
+@pytest.fixture(scope="session")
+def sharded_marketplace_builder():
+    """Builder for the sharded-marketplace deployment (configurable shard count)."""
+    return build_sharded_marketplace_estocada

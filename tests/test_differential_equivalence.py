@@ -1,0 +1,191 @@
+"""The differential query-equivalence harness.
+
+One logical marketplace dataset is deployed four ways — the multi-store
+baseline executed serially, the same deployment executed concurrently, and
+the sharded deployment at 1 shard and at 8 shards — and a hypothesis-driven
+random query generator asserts that every configuration returns the *same
+bag of rows* for every generated query.  This is the trust anchor for the
+sharding subsystem: pruning, scatter-gather fan-out and partial-aggregation
+pushdown may change the plan shape and the execution schedule, but never the
+answer.
+
+LIMIT queries are nondeterministic by design (any k rows of the answer are a
+correct answer), so for them the harness checks cardinality and containment
+in the full result instead of equality.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+
+def _canonical(value):
+    """A comparison key that tolerates summation-order float jitter.
+
+    Partial aggregation adds each shard's floats in its own order, so SUM/AVG
+    results can differ from the serial engine in the last couple of ulps;
+    10 significant digits is far tighter than any real divergence bug and far
+    looser than reordering noise.
+    """
+    if isinstance(value, float):
+        return f"{value:.10g}"
+    return repr(value)
+
+
+def _bag(rows):
+    """Order-insensitive fingerprint of a result's binding dicts."""
+    return Counter(tuple(sorted((k, _canonical(v)) for k, v in row.items())) for row in rows)
+
+
+@pytest.fixture(scope="module")
+def configurations(marketplace_builder, sharded_marketplace_builder, marketplace_data):
+    """The four deployments under test, keyed by name.
+
+    Each entry is ``(estocada, parallelism)``; all four host the same logical
+    users/purchases/visits data.
+    """
+    return {
+        "serial": (marketplace_builder(marketplace_data), 1),
+        "concurrent": (marketplace_builder(marketplace_data), 4),
+        "sharded1": (sharded_marketplace_builder(marketplace_data, shards=1), 1),
+        "sharded8": (sharded_marketplace_builder(marketplace_data, shards=8), 4),
+    }
+
+
+# -- the random query generator ------------------------------------------------------
+
+_CITIES = ("paris", "lyon", "nantes", "lille")
+_CATEGORIES = ("shoes", "electronics", "books", "kitchen")
+_AGGREGATES = (
+    "COUNT(sku) AS n",
+    "SUM(price) AS total",
+    "MIN(price) AS lo",
+    "MAX(price) AS hi",
+    "AVG(price) AS mean",
+)
+
+
+@st.composite
+def sql_queries(draw):
+    """A random SQL query over the shared marketplace tables.
+
+    Shapes: single-table scans with optional shard-key / non-key equality and
+    range filters, a purchases ⋈ visits join (optionally pruned by a uid
+    constant), and grouped aggregation over purchases with decomposable
+    functions — plus an optional LIMIT on the non-aggregate shapes.
+    """
+    shape = draw(st.sampled_from(["scan", "point", "join", "aggregate", "users"]))
+    limit = draw(st.one_of(st.none(), st.integers(min_value=1, max_value=7)))
+    if shape == "users":
+        city = draw(st.sampled_from(_CITIES))
+        sql = f"SELECT uid, name FROM users WHERE city = '{city}'"
+    elif shape == "scan":
+        price = draw(st.integers(min_value=0, max_value=500))
+        op = draw(st.sampled_from([">", "<", ">=", "<="]))
+        sql = f"SELECT uid, sku, price FROM purchases WHERE price {op} {price}"
+    elif shape == "point":
+        uid = draw(st.integers(min_value=0, max_value=59))
+        table = draw(st.sampled_from(["purchases", "visits"]))
+        columns = "uid, sku, category" if table == "purchases" else "uid, sku, duration_ms"
+        sql = f"SELECT {columns} FROM {table} WHERE uid = {uid}"
+    elif shape == "join":
+        sql = (
+            "SELECT p.sku, v.duration_ms FROM purchases p, visits v "
+            "WHERE p.uid = v.uid AND p.sku = v.sku"
+        )
+        if draw(st.booleans()):
+            uid = draw(st.integers(min_value=0, max_value=59))
+            sql += f" AND p.uid = {uid}"
+    else:  # aggregate
+        functions = draw(
+            st.lists(st.sampled_from(_AGGREGATES), min_size=1, max_size=3, unique=True)
+        )
+        group = draw(st.sampled_from(["category", "uid"]))
+        where = ""
+        if draw(st.booleans()):
+            where = f" WHERE category = '{draw(st.sampled_from(_CATEGORIES))}'"
+        sql = f"SELECT {group}, {', '.join(functions)} FROM purchases{where} GROUP BY {group}"
+        limit = None  # aggregates stay deterministic; compare them exactly
+    if limit is not None:
+        sql += f" LIMIT {limit}"
+    return sql, limit
+
+
+class TestDifferentialEquivalence:
+    """Serial, concurrent and sharded configurations agree on every query."""
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(case=sql_queries())
+    def test_random_queries_agree_across_configurations(self, configurations, case):
+        sql, limit = case
+        reference_est, _ = configurations["serial"]
+        if limit is None:
+            expected = _bag(reference_est.query(sql, dataset="shop", parallelism=1).rows)
+            for name, (est, parallelism) in configurations.items():
+                got = _bag(est.query(sql, dataset="shop", parallelism=parallelism).rows)
+                assert got == expected, f"{name} diverged on {sql!r}"
+        else:
+            # LIMIT: any k-subset of the full answer is correct — check the
+            # row count and that every returned row belongs to the full bag.
+            full_sql = sql[: sql.rindex(" LIMIT ")]
+            full = _bag(reference_est.query(full_sql, dataset="shop", parallelism=1).rows)
+            expected_count = min(limit, sum(full.values()))
+            for name, (est, parallelism) in configurations.items():
+                result = est.query(sql, dataset="shop", parallelism=parallelism)
+                assert len(result.rows) == expected_count, f"{name} wrong count on {sql!r}"
+                got = _bag(result.rows)
+                assert all(got[key] <= full[key] for key in got), (
+                    f"{name} returned rows outside the full answer on {sql!r}"
+                )
+
+    def test_point_query_prunes_only_on_the_sharded_configs(self, configurations):
+        sql = "SELECT uid, sku, category FROM purchases WHERE uid = 7"
+        est8, parallelism = configurations["sharded8"]
+        result = est8.query(sql, dataset="shop", parallelism=parallelism)
+        assert result.summary()["shards"] == {"contacted": 1, "pruned": 7}
+        serial_est, _ = configurations["serial"]
+        baseline = serial_est.query(sql, dataset="shop", parallelism=1)
+        assert baseline.summary()["shards"] == {"contacted": 0, "pruned": 0}
+        assert _bag(result.rows) == _bag(baseline.rows)
+
+    def test_limit_early_exit_cancels_sharded_fanout_cleanly(self, configurations):
+        # A tiny LIMIT abandons the gather mid-branch; every per-shard stream
+        # must still be finalized (cumulative counters move exactly once per
+        # served request) and repeated runs must stay consistent.
+        est, _ = configurations["sharded8"]
+        store = est.catalog.store("shardpg")
+        before = {child.name: child.requests_served for child in store.shard_stores()}
+        runs = 3
+        for _ in range(runs):
+            result = est.query(
+                "SELECT uid, sku FROM purchases LIMIT 3", dataset="shop", parallelism=4
+            )
+            assert len(result.rows) == 3
+        # Each run issues at most one request per shard; double-counted
+        # finalization of an abandoned stream would push a delta above `runs`.
+        for child in store.shard_stores():
+            delta = child.requests_served - before[child.name]
+            assert 0 <= delta <= runs, (child.name, delta)
+        full = est.query("SELECT uid, sku FROM purchases", dataset="shop", parallelism=4)
+        limited = est.query(
+            "SELECT uid, sku FROM purchases LIMIT 5", dataset="shop", parallelism=1
+        )
+        assert all(_bag(limited.rows)[key] <= _bag(full.rows)[key] for key in _bag(limited.rows))
+
+    def test_sharded_fanout_overlaps_requests(
+        self, sharded_marketplace_builder, marketplace_data
+    ):
+        # With a simulated per-shard service latency the pre-started Exchange
+        # workers must hold several shard requests in flight at once.
+        est = sharded_marketplace_builder(marketplace_data, shards=8, latency=0.01)
+        result = est.query("SELECT uid, sku FROM purchases", dataset="shop", parallelism=4)
+        assert result.max_concurrent_requests >= 2
+        assert result.summary()["shards"]["contacted"] == 8

@@ -1,0 +1,180 @@
+"""Golden-plan regression tests.
+
+The physical plan rendering (``explain``) of a fixed set of representative
+queries is snapshotted verbatim: shard-key pruning, full shard fan-out, a
+mediator join above a sharded gather, partial-aggregation pushdown, and the
+logical-plan shard annotation.  Planner refactors that change a plan *shape*
+must update these snapshots deliberately — they cannot drift silently.
+
+The deployment is built from fixed-size deterministic data, so cost-based
+decisions (hash vs bind, pruning) are stable.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro import Estocada
+from repro.catalog import AccessMethod, ShardingSpec, StorageDescriptor, StorageLayout
+from repro.core import Atom, ConjunctiveQuery, ViewDefinition
+from repro.datamodel import TableSchema
+from repro.plan.physical import push_partial_aggregation
+from repro.stores import KeyValueStore, RelationalStore
+
+
+def _view(name, head, body, columns):
+    return ViewDefinition(name, ConjunctiveQuery(name, head, body), column_names=columns)
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    """pg (users) + a 4-shard relational store (purchases), fixed data."""
+    est = Estocada()
+    est.register_store("pg", RelationalStore("pg"))
+    est.register_store("redis", KeyValueStore("redis"))
+    est.register_sharded_store("shardpg", 4)
+    est.register_relational_dataset(
+        "shop",
+        [
+            TableSchema("users", ("uid", "name", "city"), primary_key=("uid",)),
+            TableSchema("purchases", ("uid", "sku", "category", "price")),
+        ],
+    )
+    est.register_fragment(
+        StorageDescriptor(
+            "F_users", "shop", "pg",
+            _view("F_users", ["?u", "?n", "?c"], [Atom("users", ["?u", "?n", "?c"])],
+                  ("uid", "name", "city")),
+            StorageLayout("users"), AccessMethod("scan"),
+        ),
+        rows=[{"uid": i, "name": f"u{i}", "city": "paris" if i % 2 else "lyon"} for i in range(20)],
+        indexes=("uid",),
+    )
+    est.register_fragment(
+        StorageDescriptor(
+            "F_purchases", "shop", "shardpg",
+            _view("F_purchases", ["?u", "?s", "?c", "?p"],
+                  [Atom("purchases", ["?u", "?s", "?c", "?p"])],
+                  ("uid", "sku", "category", "price")),
+            StorageLayout("purchases"), AccessMethod("scan"),
+            sharding=ShardingSpec("uid", 4),
+        ),
+        rows=[
+            {"uid": i % 20, "sku": f"s{i % 11}", "category": f"c{i % 3}", "price": float(i)}
+            for i in range(160)
+        ],
+        indexes=("uid",),
+    )
+    return est
+
+
+def _golden(text: str) -> str:
+    return textwrap.dedent(text).strip("\n")
+
+
+class TestGoldenPlans:
+    def test_point_query_prunes_to_one_shard(self, deployment):
+        explanation = deployment.explain("SELECT sku FROM purchases WHERE uid = 7", dataset="shop")
+        assert explanation.plan_text() == _golden(
+            """
+            Project[purchases_sku]
+              ShardGather[F_purchases, 1/4 shards]
+                Exchange[F_purchases#3]
+                  DelegatedRequest[store=shardpg.3, purchases#3, vars=['purchases_category', 'purchases_price', 'purchases_sku']]
+            """
+        )
+
+    def test_unpruned_scan_fans_out_to_every_shard(self, deployment):
+        explanation = deployment.explain("SELECT uid, sku FROM purchases", dataset="shop")
+        assert explanation.plan_text() == _golden(
+            """
+            Project[purchases_uid, purchases_sku]
+              ShardGather[F_purchases, 4/4 shards]
+                Exchange[F_purchases#0]
+                  DelegatedRequest[store=shardpg.0, purchases#0, vars=['purchases_category', 'purchases_price', 'purchases_sku', 'purchases_uid']]
+                Exchange[F_purchases#1]
+                  DelegatedRequest[store=shardpg.1, purchases#1, vars=['purchases_category', 'purchases_price', 'purchases_sku', 'purchases_uid']]
+                Exchange[F_purchases#2]
+                  DelegatedRequest[store=shardpg.2, purchases#2, vars=['purchases_category', 'purchases_price', 'purchases_sku', 'purchases_uid']]
+                Exchange[F_purchases#3]
+                  DelegatedRequest[store=shardpg.3, purchases#3, vars=['purchases_category', 'purchases_price', 'purchases_sku', 'purchases_uid']]
+            """
+        )
+
+    def test_mediator_join_builds_on_the_sharded_gather(self, deployment):
+        explanation = deployment.explain(
+            "SELECT u.name, p.sku FROM users u, purchases p WHERE u.uid = p.uid",
+            dataset="shop",
+        )
+        assert explanation.plan_text() == _golden(
+            """
+            Project[u_name, p_sku]
+              HashJoin[on=natural]
+                ShardGather[F_purchases, 4/4 shards]
+                  Exchange[F_purchases#0]
+                    DelegatedRequest[store=shardpg.0, purchases#0, vars=['p_category', 'p_price', 'p_sku', 'p_uid']]
+                  Exchange[F_purchases#1]
+                    DelegatedRequest[store=shardpg.1, purchases#1, vars=['p_category', 'p_price', 'p_sku', 'p_uid']]
+                  Exchange[F_purchases#2]
+                    DelegatedRequest[store=shardpg.2, purchases#2, vars=['p_category', 'p_price', 'p_sku', 'p_uid']]
+                  Exchange[F_purchases#3]
+                    DelegatedRequest[store=shardpg.3, purchases#3, vars=['p_category', 'p_price', 'p_sku', 'p_uid']]
+                Exchange[F_users]
+                  DelegatedRequest[store=pg, users, vars=['p_uid', 'u_city', 'u_name']]
+            """
+        )
+
+    def test_partial_aggregation_pushdown_shape(self, deployment):
+        translated = deployment.translate_sql(
+            "shop", "SELECT category, SUM(price) AS total FROM purchases GROUP BY category"
+        )
+        explanation = deployment.explain(translated.query)
+        pushed = push_partial_aggregation(
+            explanation.chosen.plan.root,
+            translated.aggregation.group_by,
+            translated.aggregation.aggregations,
+        )
+        assert pushed is not None
+        assert pushed.explain() == _golden(
+            """
+            MergeAggregate[by purchases_category]
+              ShardGather[F_purchases, 4/4 shards]
+                Exchange[F_purchases#0]
+                  PartialAggregate[by purchases_category]
+                    DelegatedRequest[store=shardpg.0, purchases#0, vars=['purchases_category', 'purchases_price', 'purchases_sku', 'purchases_uid']]
+                Exchange[F_purchases#1]
+                  PartialAggregate[by purchases_category]
+                    DelegatedRequest[store=shardpg.1, purchases#1, vars=['purchases_category', 'purchases_price', 'purchases_sku', 'purchases_uid']]
+                Exchange[F_purchases#2]
+                  PartialAggregate[by purchases_category]
+                    DelegatedRequest[store=shardpg.2, purchases#2, vars=['purchases_category', 'purchases_price', 'purchases_sku', 'purchases_uid']]
+                Exchange[F_purchases#3]
+                  PartialAggregate[by purchases_category]
+                    DelegatedRequest[store=shardpg.3, purchases#3, vars=['purchases_category', 'purchases_price', 'purchases_sku', 'purchases_uid']]
+            """
+        )
+
+    def test_pushdown_refuses_non_shard_roots(self, deployment):
+        translated = deployment.translate_sql(
+            "shop", "SELECT city, COUNT(uid) AS n FROM users GROUP BY city"
+        )
+        explanation = deployment.explain(translated.query)
+        assert (
+            push_partial_aggregation(
+                explanation.chosen.plan.root,
+                translated.aggregation.group_by,
+                translated.aggregation.aggregations,
+            )
+            is None
+        )
+
+    def test_logical_plan_carries_the_shard_annotation(self, deployment):
+        explanation = deployment.explain("SELECT sku FROM purchases WHERE uid = 7", dataset="shop")
+        assert explanation.chosen.plan.logical.explain() == _golden(
+            """
+            Project[purchases_sku]
+              Access[store=shardpg, F_purchases, shards=1/4]
+            """
+        )

@@ -353,3 +353,82 @@ class TestPlanCache:
             "SELECT uid, sku FROM purchases LIMIT 3", dataset="shop"
         )
         assert len(result.rows) == 3
+
+
+class TestShardedPlanCacheInterplay:
+    """Cached sharded plans must react to shard statistics and topology changes."""
+
+    SCAN = "SELECT uid, sku FROM purchases"
+    POINT = "SELECT sku FROM purchases WHERE uid = 7"
+
+    def test_summary_reports_shards_contacted_vs_pruned(
+        self, sharded_marketplace_builder, marketplace_data
+    ):
+        est = sharded_marketplace_builder(marketplace_data, shards=8)
+        scan = est.query(self.SCAN, dataset="shop")
+        assert scan.summary()["shards"] == {"contacted": 8, "pruned": 0}
+        point = est.query(self.POINT, dataset="shop")
+        assert point.summary()["shards"] == {"contacted": 1, "pruned": 7}
+        assert "shards: 1 contacted / 7 pruned" in point.plan_description
+        # The accounting also holds when the plan comes from the cache.
+        again = est.query(self.POINT, dataset="shop")
+        assert again.cache_hit is True
+        assert again.summary()["shards"] == {"contacted": 1, "pruned": 7}
+
+    def test_consistent_observations_keep_sharded_plans_cached(
+        self, sharded_marketplace_builder, marketplace_data
+    ):
+        est = sharded_marketplace_builder(marketplace_data, shards=8)
+        est.query(self.SCAN, dataset="shop")
+        result = est.query(self.SCAN, dataset="shop")
+        assert result.cache_hit is True
+        assert est.cache_stats()["invalidations"] == 0
+
+    def test_shard_statistics_drift_invalidates_cached_sharded_plans(
+        self, sharded_marketplace_builder, marketplace_data
+    ):
+        est = sharded_marketplace_builder(marketplace_data, shards=8)
+        est.query(self.SCAN, dataset="shop")  # plan cached + per-shard baselines observed
+        assert est.query(self.SCAN, dataset="shop").cache_hit is True
+        # The purchases collection triples behind the catalog's back: the
+        # router's insert routes the new rows to their shards.
+        store = est.catalog.store("shardpg")
+        before = est.statistics.get("F_purchases").shard_cardinalities
+        grown = [
+            {"uid": i % 60, "sku": i % 80, "category": "shoes", "quantity": 1, "price": 9.99}
+            for i in range(2 * sum(before))
+        ]
+        store.insert("purchases", grown)
+        est.query(self.SCAN, dataset="shop")  # observes the drifted shard counts
+        stats = est.cache_stats()
+        assert stats["invalidations"] >= 1
+        # The next query re-plans against refreshed per-shard statistics.
+        replanned = est.query(self.SCAN, dataset="shop")
+        assert replanned.cache_hit is False
+        after = est.statistics.get("F_purchases").shard_cardinalities
+        assert sum(after) > sum(before)
+
+    def test_shard_count_change_invalidates_via_catalog_version(
+        self, sharded_marketplace_builder, marketplace_data
+    ):
+        from repro.catalog import ShardingSpec
+        from repro.stores import RelationalStore, ShardedStore
+
+        est = sharded_marketplace_builder(marketplace_data, shards=4)
+        first = est.query(self.SCAN, dataset="shop")
+        assert first.summary()["shards"]["contacted"] == 4
+        # Re-shard: drop the fragment, register a wider store, re-materialize.
+        descriptor = est.drop_fragment("F_purchases")
+        est.register_store(
+            "shardpg16", ShardedStore.homogeneous("shardpg16", 16, RelationalStore)
+        )
+        from dataclasses import replace
+
+        wider = replace(
+            descriptor, store="shardpg16", sharding=ShardingSpec("uid", 16)
+        )
+        est.register_fragment(wider, rows=marketplace_data.purchases(), indexes=("uid",))
+        result = est.query(self.SCAN, dataset="shop")
+        assert result.cache_hit is False  # catalog version changed under the key
+        assert result.summary()["shards"] == {"contacted": 16, "pruned": 0}
+        assert len(result.rows) == len(first.rows)
