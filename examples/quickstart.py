@@ -8,10 +8,12 @@ everything else) and executes it.
 
 The second half demonstrates **tuning parallelism**: a query fanning out to
 several stores runs its delegated requests concurrently when the executor is
-given more than one worker.  The last section demonstrates **sharding**: a
+given more than one worker.  The next section demonstrates **sharding**: a
 high-volume collection spread across 8 relational instances, with the
 planner pruning point queries to a single shard and scatter-gathering
-unpruned scans.
+unpruned scans.  The last section demonstrates **replication**: the same
+collection held by 3 full-copy replicas, with transient errors retried,
+a dead replica failed over, and a slow replica hedged.
 
 Run with:  python examples/quickstart.py
 """
@@ -22,7 +24,8 @@ from repro import Estocada
 from repro.catalog import AccessMethod, ShardingSpec, StorageDescriptor, StorageLayout
 from repro.core import Atom, ConjunctiveQuery, ViewDefinition
 from repro.datamodel import TableSchema
-from repro.stores import DocumentStore, KeyValueStore, RelationalStore
+from repro.stores import DocumentStore, KeyValueStore, RelationalStore, ReplicationPolicy
+from repro.testing import FaultInjector, FaultProfile
 
 
 def main() -> None:
@@ -84,6 +87,7 @@ def main() -> None:
 
     tuning_parallelism()
     sharding()
+    replication()
 
 
 def tuning_parallelism() -> None:
@@ -200,6 +204,75 @@ def sharding() -> None:
         print(
             f"   {label}: {elapsed * 1e3:6.1f} ms, {len(result.rows)} rows, "
             f"shards {shards['contacted']} contacted / {shards['pruned']} pruned"
+        )
+
+
+def replication() -> None:
+    """Replication: 3 full copies, retry / failover / hedging knobs.
+
+    Every replica is wrapped in a deterministic :class:`FaultInjector`: one
+    drops 30 % of requests (absorbed by same-replica retries), one is a
+    straggler with 40 ms latency spikes, and the policy hedges a backup
+    request once the primary is slower than 5 ms — the first winner answers,
+    so a spike costs the hedge delay instead of the spike.  Results are
+    always bag-identical to a fault-free run; ``summary()["replicas"]``
+    reports what the recovery layers actually did.
+    """
+    est = Estocada(parallelism=4)
+
+    def replica_factory(name: str):
+        index = int(name.rsplit(".", 1)[1])
+        inner = RelationalStore(name, latency=0.002)
+        if index == 0:
+            # The preferred copy has gone spiky: 40 ms pauses on 60% of requests.
+            return FaultInjector(inner, FaultProfile(seed=7, slow_rate=0.6, slow_seconds=0.04))
+        if index == 1:
+            # A flaky network path: ~30% of requests are dropped.
+            return FaultInjector(inner, FaultProfile(seed=8, error_rate=0.3))
+        return inner
+
+    est.register_replicated_store(
+        "reppg", 3, replica_factory,
+        policy=ReplicationPolicy(
+            max_retries=2,              # transient errors retried on the same replica
+            hedge=True,                 # fire a backup against stragglers ...
+            hedge_delay_seconds=0.005,  # ... once the primary is 5 ms overdue
+            prefer_order=(0, 1, 2),     # "read-local": pin the preferred copy
+        ),
+    )
+    est.register_relational_dataset(
+        "app", [TableSchema("events", ("uid", "action", "ms"))]
+    )
+    view = ViewDefinition(
+        "F_events",
+        ConjunctiveQuery("F_events", ["?u", "?a", "?m"], [Atom("events", ["?u", "?a", "?m"])]),
+        column_names=("uid", "action", "ms"),
+    )
+    est.register_fragment(
+        StorageDescriptor(
+            "F_events", "app", "reppg", view, StorageLayout("events"), AccessMethod("scan"),
+        ),
+        rows=[{"uid": i % 100, "action": f"a{i % 5}", "ms": i} for i in range(1000)],
+        indexes=("uid",),
+    )
+    print("== replication (3 full copies: one spiky, one flaky, one clean)")
+    for _ in range(6):
+        started = time.perf_counter()
+        result = est.query("SELECT uid, action FROM events WHERE uid = 17", dataset="app")
+        elapsed = time.perf_counter() - started
+        activity = result.summary()["replicas"]
+        print(
+            f"   {elapsed * 1e3:6.1f} ms, {len(result.rows)} rows — "
+            f"attempts {activity['attempts']}, retries {activity['retries']}, "
+            f"hedges {activity['hedges']}, failovers {activity['failovers']}"
+        )
+    health = est.replication_configuration()["reppg"]["health"]
+    for entry in health:
+        latency = entry["ewma_latency_seconds"]
+        print(
+            f"   {entry['replica']}: healthy={entry['healthy']}, "
+            f"ewma={'-' if latency is None else f'{latency * 1e3:.1f} ms'}, "
+            f"hedge wins={entry['hedges_won']}"
         )
 
 

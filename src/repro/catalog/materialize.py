@@ -21,6 +21,7 @@ from repro.stores.fulltext import FullTextStore
 from repro.stores.keyvalue import KeyValueStore
 from repro.stores.parallel import ParallelStore
 from repro.stores.relational import RelationalStore
+from repro.stores.replicated import ReplicatedStore
 from repro.stores.sharded import ShardedStore
 
 __all__ = ["materialize_fragment"]
@@ -50,6 +51,23 @@ def materialize_fragment(
     overrides the partition count for parallel stores.  Returns the number of
     rows written.
     """
+    # Fault-injection wrappers are transparent for loading: write through to
+    # the wrapped store so materialization cannot be dropped by the schedule.
+    fault_target = getattr(store, "fault_target", None)
+    if fault_target is not None:
+        return materialize_fragment(
+            fault_target, descriptor, rows, indexes=indexes, partitions=partitions
+        )
+
+    if isinstance(store, ReplicatedStore):
+        # Full-copy replication: every replica receives the whole fragment.
+        written = 0
+        for replica in store.replica_stores():
+            written = materialize_fragment(
+                replica, descriptor, rows, indexes=indexes, partitions=partitions
+            )
+        return written
+
     collection = descriptor.layout.collection
     store_rows = _store_rows(descriptor, rows)
     view_columns = descriptor.view_columns()

@@ -17,16 +17,193 @@ longer reflect reality.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.catalog.manager import StorageDescriptorManager
 from repro.errors import CatalogError
 
-__all__ = ["FragmentStatistics", "StatisticsCatalog", "OBSERVATION_SMOOTHING"]
+__all__ = [
+    "FragmentStatistics",
+    "StatisticsCatalog",
+    "OBSERVATION_SMOOTHING",
+    "ReplicaStatistics",
+    "ReplicaHealthBoard",
+    "REPLICA_LATENCY_SMOOTHING",
+    "REPLICA_UNHEALTHY_AFTER",
+]
 
 OBSERVATION_SMOOTHING = 0.4
 """Weight of the newest observation in the exponentially-weighted estimate."""
+
+REPLICA_LATENCY_SMOOTHING = 0.3
+"""Weight of the newest latency sample in a replica's EWMA service latency."""
+
+REPLICA_UNHEALTHY_AFTER = 3
+"""Consecutive failures after which a replica is considered unhealthy."""
+
+
+@dataclass(slots=True)
+class ReplicaStatistics:
+    """Health and latency tracking of one replica of a replicated store.
+
+    ``ewma_latency_seconds`` is the exponentially-weighted service latency of
+    successful requests (None until the first success).  A replica turns
+    *unhealthy* after ``unhealthy_after`` consecutive failures and recovers on
+    the next success — unhealthy replicas are deprioritized by the router and
+    priced out by the cost model, but stay reachable as a last resort.
+    """
+
+    replica: str
+    unhealthy_after: int = REPLICA_UNHEALTHY_AFTER
+    ewma_latency_seconds: float | None = None
+    attempts: int = 0
+    successes: int = 0
+    failures: int = 0
+    consecutive_failures: int = 0
+    hedges_won: int = 0
+
+    @property
+    def healthy(self) -> bool:
+        """Whether the replica is currently believed able to serve requests."""
+        return self.consecutive_failures < self.unhealthy_after
+
+    def describe(self) -> Mapping[str, object]:
+        """JSON-friendly snapshot of this replica's health."""
+        return {
+            "replica": self.replica,
+            "healthy": self.healthy,
+            "ewma_latency_seconds": self.ewma_latency_seconds,
+            "attempts": self.attempts,
+            "successes": self.successes,
+            "failures": self.failures,
+            "consecutive_failures": self.consecutive_failures,
+            "hedges_won": self.hedges_won,
+        }
+
+
+class ReplicaHealthBoard:
+    """Per-replica health/latency tracking shared by router, planner and cost model.
+
+    One board belongs to one :class:`~repro.stores.replicated.ReplicatedStore`;
+    the store records every attempt's outcome, the router ranks replicas from
+    it (cheapest healthy EWMA latency first), the cost model prices replicated
+    accesses with :meth:`best_healthy_latency`, and the hedge trigger derives
+    its delay from :meth:`latency_percentile`.  All methods are thread-safe —
+    hedged attempts record from their own threads.
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence[str],
+        unhealthy_after: int = REPLICA_UNHEALTHY_AFTER,
+        smoothing: float = REPLICA_LATENCY_SMOOTHING,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._smoothing = min(max(smoothing, 0.0), 1.0)
+        self._replicas = [
+            ReplicaStatistics(replica=name, unhealthy_after=max(1, unhealthy_after))
+            for name in replicas
+        ]
+
+    def __len__(self) -> int:
+        return len(self._replicas)
+
+    def statistics(self, index: int) -> ReplicaStatistics:
+        """The tracked statistics of replica ``index``."""
+        return self._replicas[index]
+
+    # -- recording ------------------------------------------------------------------
+    def record_success(self, index: int, elapsed_seconds: float) -> None:
+        """Fold one successful request into the replica's EWMA latency."""
+        with self._lock:
+            entry = self._replicas[index]
+            entry.attempts += 1
+            entry.successes += 1
+            entry.consecutive_failures = 0
+            sample = max(0.0, float(elapsed_seconds))
+            if entry.ewma_latency_seconds is None:
+                entry.ewma_latency_seconds = sample
+            else:
+                entry.ewma_latency_seconds += self._smoothing * (
+                    sample - entry.ewma_latency_seconds
+                )
+
+    def record_failure(self, index: int) -> None:
+        """Record one failed request against the replica."""
+        with self._lock:
+            entry = self._replicas[index]
+            entry.attempts += 1
+            entry.failures += 1
+            entry.consecutive_failures += 1
+
+    def record_hedge_win(self, index: int) -> None:
+        """Record that a backup (hedged) request on this replica won the race."""
+        with self._lock:
+            self._replicas[index].hedges_won += 1
+
+    # -- selection ------------------------------------------------------------------
+    def ranked(self) -> tuple[int, ...]:
+        """Replica indices in routing preference order.
+
+        Healthy replicas come first, cheapest EWMA latency first (replicas
+        with no latency data yet sort ahead so cold replicas get probed);
+        unhealthy replicas follow, least-failed first — they are a last
+        resort, never unreachable, so a store where everything looks down can
+        still recover.
+        """
+        with self._lock:
+            healthy = [
+                (entry.ewma_latency_seconds is not None, entry.ewma_latency_seconds or 0.0, i)
+                for i, entry in enumerate(self._replicas)
+                if entry.healthy
+            ]
+            unhealthy = [
+                (entry.consecutive_failures, i)
+                for i, entry in enumerate(self._replicas)
+                if not entry.healthy
+            ]
+        healthy.sort()
+        unhealthy.sort()
+        return tuple(i for *_, i in healthy) + tuple(i for _, i in unhealthy)
+
+    def best_healthy_latency(self) -> float | None:
+        """The cheapest healthy replica's EWMA latency (None without data)."""
+        with self._lock:
+            latencies = [
+                entry.ewma_latency_seconds
+                for entry in self._replicas
+                if entry.healthy and entry.ewma_latency_seconds is not None
+            ]
+        return min(latencies) if latencies else None
+
+    def latency_percentile(self, quantile: float = 0.95) -> float | None:
+        """Interpolated percentile over the healthy replicas' EWMA latencies.
+
+        The hedge trigger fires a backup request once the primary has been
+        outstanding longer than this (a request slower than the fleet's usual
+        service latency is probably a straggler).  None without data.
+        """
+        with self._lock:
+            latencies = sorted(
+                entry.ewma_latency_seconds
+                for entry in self._replicas
+                if entry.healthy and entry.ewma_latency_seconds is not None
+            )
+        if not latencies:
+            return None
+        quantile = min(max(quantile, 0.0), 1.0)
+        position = quantile * (len(latencies) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(latencies) - 1)
+        fraction = position - lower
+        return latencies[lower] + (latencies[upper] - latencies[lower]) * fraction
+
+    def describe(self) -> list[Mapping[str, object]]:
+        """JSON-friendly snapshot of every replica (facade introspection)."""
+        with self._lock:
+            return [entry.describe() for entry in self._replicas]
 
 
 @dataclass(frozen=True, slots=True)

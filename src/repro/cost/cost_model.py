@@ -139,6 +139,24 @@ class CostModel:
         """The cardinality the planner currently assumes for ``fragment``."""
         return self._statistics.get(fragment).cardinality
 
+    # -- replica selection --------------------------------------------------------------
+    def request_latency_seconds(self, store, profile: StoreCostProfile) -> float:
+        """Per-request latency charged for ``store`` under ``profile``.
+
+        For a replicated store with observed latencies this is the cheapest
+        *healthy* replica's EWMA service latency — the request is expected to
+        route there, so pricing the static profile latency would overcharge a
+        deployment whose fast replicas are healthy (and undercharge one whose
+        only healthy replicas are slow).  Falls back to the profile constant
+        when no replica data exists.
+        """
+        board = getattr(store, "health", None)
+        if board is not None:
+            best = board.best_healthy_latency()
+            if best is not None:
+                return best
+        return profile.request_latency_seconds
+
     # -- group costs -------------------------------------------------------------------
     def _access_cost(self, access: AtomAccess, left_rows: float, bound: set[Variable]) -> tuple[float, float]:
         """Cost and output cardinality of accessing one atom given ``left_rows``.
@@ -169,7 +187,12 @@ class CostModel:
         key_columns = set(access.descriptor.access.key_columns) | set(access.input_columns())
         constant_on_key = bool(key_columns & set(constant_columns))
 
-        per_probe_latency = profile.request_latency_seconds * LATENCY_COST_PER_SECOND
+        # Replica selection: a replicated store serves the request from its
+        # cheapest healthy replica, so its observed EWMA latency (not the
+        # static profile constant) prices each request.
+        request_latency = self.request_latency_seconds(access.store, profile)
+        per_probe_latency = request_latency * LATENCY_COST_PER_SECOND
+        request_cost = profile.request_overhead + per_probe_latency
 
         if probe_columns and (requires_key or has_index):
             # BindJoin / index nested loop: one lookup per left row (each
@@ -188,7 +211,7 @@ class CostModel:
             per_lookup_rows = stats.cardinality
             for column in constant_columns:
                 per_lookup_rows *= stats.selectivity_of_equality(column)
-            cost = profile.lookup_cost + profile.request_cost
+            cost = profile.lookup_cost + request_cost
             output = max(per_lookup_rows, 0.0)
             if left_rows:
                 cost += _RUNTIME_ROW_COST * (left_rows + output)
@@ -203,7 +226,7 @@ class CostModel:
         if spec is not None:
             scan_cost = self._sharded_scan_cost(access, spec, stats, profile, scanned)
         else:
-            scan_cost = profile.request_cost + (scanned * profile.scan_row_cost) / max(
+            scan_cost = request_cost + (scanned * profile.scan_row_cost) / max(
                 profile.parallelism, 1.0
             )
         if left_rows:
@@ -235,6 +258,7 @@ class CostModel:
         cardinalities, so drifting shard statistics re-price cached plans
         after invalidation.
         """
+        request_latency = self.request_latency_seconds(access.store, profile)
         constants = access.constant_by_column()
         if spec.shard_key in constants:
             target = spec.route(constants[spec.shard_key])
@@ -243,11 +267,14 @@ class CostModel:
             for column, _ in constants.items():
                 if column != spec.shard_key:
                     shard_rows *= stats.selectivity_of_equality(column)
-            return profile.request_cost + shard_rows * profile.scan_row_cost
+            point_request = (
+                profile.request_overhead + request_latency * LATENCY_COST_PER_SECOND
+            )
+            return point_request + shard_rows * profile.scan_row_cost
         overlap = max(min(float(spec.shards), SHARD_FANOUT_CONCURRENCY), 1.0)
         fixed = profile.request_overhead * spec.shards
         latency = (
-            profile.request_latency_seconds * LATENCY_COST_PER_SECOND * spec.shards
+            request_latency * LATENCY_COST_PER_SECOND * spec.shards
         ) / overlap
         return fixed + latency + (scanned * profile.scan_row_cost) / overlap
 
@@ -270,19 +297,21 @@ class CostModel:
         estimate = self._estimator.atom_estimate(access)
         left_rows = max(left_rows, 1.0)
 
-        per_probe_latency = profile.request_latency_seconds * LATENCY_COST_PER_SECOND
+        request_latency = self.request_latency_seconds(access.store, profile)
+        per_probe_latency = request_latency * LATENCY_COST_PER_SECOND
+        request_cost = profile.request_overhead + per_probe_latency
         probe_cost = left_rows * (
             profile.lookup_cost + profile.request_overhead * 0.1 + per_probe_latency
         )
         if not any(column in stats.indexed_columns for column in probe_columns):
             # Unindexed probes degenerate to one filtered scan per left row.
             probe_cost = left_rows * (
-                profile.request_cost
+                request_cost
                 + (stats.cardinality * profile.scan_row_cost)
                 / max(profile.parallelism, 1.0)
             )
         scan_cost = (
-            profile.request_cost
+            request_cost
             + (stats.cardinality * profile.scan_row_cost) / max(profile.parallelism, 1.0)
             + _RUNTIME_ROW_COST * (left_rows + estimate.estimated_rows)
         )

@@ -81,6 +81,27 @@ class UnsupportedOperationError(StoreError):
     """The store does not support the requested operation (e.g. joins)."""
 
 
+class TransientStoreError(StoreError):
+    """A request failed in a way that a retry can be expected to fix.
+
+    Models dropped requests, timeouts and mid-stream connection losses: the
+    store itself is believed alive, so the replication layer retries the same
+    replica (bounded) before failing over.
+    """
+
+
+class StoreCrashedError(StoreError):
+    """The store instance is down; requests to it cannot succeed until revival.
+
+    Retrying the same instance is pointless — the replication layer fails
+    over to another replica and marks this one unhealthy.
+    """
+
+
+class AllReplicasFailedError(StoreError):
+    """Every replica of a replicated store failed to serve a request."""
+
+
 class AccessPatternViolation(StoreError):
     """A store access did not supply a value for a required (bound) field."""
 

@@ -41,6 +41,7 @@ from repro.runtime.batch import RowBatch
 from repro.runtime.engine import ExecutionEngine, QueryResult
 from repro.runtime.operators import Aggregate, Deduplicate, Filter, Operator
 from repro.stores.base import COMPARATORS, Store
+from repro.stores.replicated import ReplicatedStore, ReplicationPolicy
 from repro.stores.sharded import ShardedStore
 from repro.translation.planner import Planner
 
@@ -235,6 +236,41 @@ class Estocada:
                     "shards": store.shard_count,
                     "collections": dict(store.describe_sharding()),
                 }
+        return configuration
+
+    def register_replicated_store(
+        self,
+        name: str,
+        replicas: int,
+        factory: "Callable[[str], Store] | None" = None,
+        policy: ReplicationPolicy | None = None,
+    ) -> ReplicatedStore:
+        """Register a replicated store of ``replicas`` full-copy instances.
+
+        ``factory`` builds one replica per index from its generated name
+        (``f"{name}.{i}"``); the default spins up simulated relational
+        instances.  Fragments materialized into the returned store are
+        written to *every* replica; reads route to the cheapest healthy
+        replica with bounded retry, failover and (when the ``policy``
+        enables it) hedged backup requests — see
+        :class:`~repro.stores.replicated.ReplicationPolicy` for the knobs.
+        Per-query recovery activity shows up in
+        ``QueryResult.summary()["replicas"]``.
+        """
+        if factory is None:
+            from repro.stores.relational import RelationalStore
+
+            factory = RelationalStore
+        store = ReplicatedStore.homogeneous(name, replicas, factory, policy=policy)
+        self.register_store(name, store)
+        return store
+
+    def replication_configuration(self) -> Mapping[str, object]:
+        """Per-store replication topology, policy and live replica health."""
+        configuration: dict[str, object] = {}
+        for name, store in self._manager.stores().items():
+            if isinstance(store, ReplicatedStore):
+                configuration[name] = dict(store.describe_replication())
         return configuration
 
     def register_relational_dataset(

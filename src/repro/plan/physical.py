@@ -27,7 +27,18 @@ Lowering decides *how* each logical step executes:
   ``Aggregate ∘ (Project ∘) ShardGather`` into per-shard
   :class:`~repro.runtime.operators.PartialAggregate` branches merged by a
   :class:`~repro.runtime.operators.MergeAggregate`, so each shard reduces its
-  own rows before anything crosses the exchange queues.
+  own rows before anything crosses the exchange queues;
+* a fragment in a **replicated store** compiles against the replica *router*
+  rather than a pinned replica: plans are cached and re-executed, so binding
+  a replica index at plan time would replay a cached plan against a replica
+  that has since slowed down or died.  Replica selection is split between
+  planning and execution: at planning time the cost model prices the access
+  (and the hash-vs-bind choice) with the cheapest healthy replica's EWMA
+  latency (:meth:`~repro.cost.cost_model.CostModel.request_latency_seconds`),
+  and at execution time the router resolves the same health board into the
+  actual attempt order, with bounded retry, failover and hedging
+  (:mod:`repro.stores.replicated`).  The lowered operator is annotated with
+  the replica count so ``explain()`` shows where dynamic routing happens.
 """
 
 from __future__ import annotations
@@ -59,6 +70,7 @@ from repro.runtime.operators import (
 from repro.runtime.parallel import Exchange
 from repro.runtime.values import Binding
 from repro.stores.base import JoinRequest, LookupRequest, Predicate, ScanRequest, StoreRequest
+from repro.stores.replicated import ReplicatedStore
 from repro.stores.sharded import ShardedStore
 from repro.translation.grouping import AtomAccess, DelegationGroup
 
@@ -200,7 +212,10 @@ class PhysicalPlanner:
         Each delegated request is an independent leaf of the plan — exactly
         the unit the scatter-gather runtime overlaps — so every one is marked
         with an :class:`Exchange` here.  A scan of a sharded fragment becomes
-        one request per target shard under a :class:`ShardGather`.
+        one request per target shard under a :class:`ShardGather`.  Requests
+        against a replicated store target the router (replica selection is
+        resolved per execution from the live health board, never baked into
+        the cached plan) and carry a ``×Nr`` annotation in the plan text.
         """
         if group.is_single():
             access = group.accesses[0]
@@ -217,7 +232,7 @@ class PhysicalPlanner:
                 label=access.descriptor.layout.collection,
                 fragment=access.descriptor.fragment_name,
             )
-            return Exchange(operator, label=access.descriptor.fragment_name)
+            return Exchange(operator, label=self._exchange_label(group.store, access))
         try:
             request, output, residual = self._join_request(group)
         except PlanningError:
@@ -251,6 +266,14 @@ class PhysicalPlanner:
             ),
             label=label,
         )
+
+    @staticmethod
+    def _exchange_label(store, access: AtomAccess) -> str:
+        """Exchange display label; replicated stores advertise their fan size."""
+        label = access.descriptor.fragment_name
+        if isinstance(store, ReplicatedStore):
+            return f"{label}×{store.replica_count}r"
+        return label
 
     def _sharded_scan(
         self,

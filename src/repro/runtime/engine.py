@@ -53,6 +53,10 @@ class StoreBreakdown:
     partitions_used: int = 0
     partitions_pruned: int = 0
     elapsed_seconds: float = 0.0
+    replica_attempts: int = 0
+    replica_retries: int = 0
+    replica_hedges: int = 0
+    replica_failovers: int = 0
 
 
 @dataclass(slots=True)
@@ -88,6 +92,23 @@ class QueryResult:
         """Time spent in the ESTOCADA runtime (total minus store time)."""
         return max(self.elapsed_seconds - self.stores_time(), 0.0)
 
+    def replica_activity(self) -> Mapping[str, int]:
+        """Recovery work done by replicated stores during this query.
+
+        ``attempts`` counts every replica request issued (including the
+        first, fault-free one per delegated request), ``retries`` the
+        same-replica re-issues after transient errors, ``hedges`` the backup
+        requests fired against stragglers, and ``failovers`` the moves to
+        another replica after a hard failure.  All zero for queries that
+        touch no replicated store.
+        """
+        return {
+            "attempts": sum(b.replica_attempts for b in self.store_breakdown.values()),
+            "retries": sum(b.replica_retries for b in self.store_breakdown.values()),
+            "hedges": sum(b.replica_hedges for b in self.store_breakdown.values()),
+            "failovers": sum(b.replica_failovers for b in self.store_breakdown.values()),
+        }
+
     def summary(self) -> Mapping[str, object]:
         """A JSON-friendly summary (used by the demo-style reporting)."""
         return {
@@ -102,6 +123,7 @@ class QueryResult:
                 "contacted": self.shards_contacted,
                 "pruned": self.shards_pruned,
             },
+            "replicas": dict(self.replica_activity()),
             "stores": {
                 name: {
                     "requests": breakdown.requests,
@@ -203,6 +225,10 @@ class ExecutionEngine:
             entry.partitions_used += metrics.partitions_used
             entry.partitions_pruned += metrics.partitions_pruned
             entry.elapsed_seconds += metrics.elapsed_seconds
+            entry.replica_attempts += metrics.replica_attempts
+            entry.replica_retries += metrics.replica_retries
+            entry.replica_hedges += metrics.replica_hedges
+            entry.replica_failovers += metrics.replica_failovers
 
         observed: dict[str, int] = {}
         observed_shards: dict[str, dict[int, int]] = {}

@@ -42,6 +42,7 @@ from repro.stores.base import ScanRequest, Store, StoreMetrics, StoreRequest, St
 
 __all__ = [
     "ConcurrencyTracker",
+    "FailureSignal",
     "ExecutionContext",
     "Operator",
     "DelegatedRequest",
@@ -87,6 +88,40 @@ class ConcurrencyTracker:
             self._active -= 1
 
 
+class FailureSignal:
+    """First-error latch shared by one execution and all its Exchange workers.
+
+    When any worker pipeline raises, the error is recorded here (first one
+    wins) and every other worker observes :meth:`is_set` between batches and
+    stops issuing further store requests.  Consumers whose streams were
+    truncated by the signal re-raise the *original* exception object, so the
+    failure surfaces with its own traceback instead of a draining timeout.
+    """
+
+    __slots__ = ("_lock", "_error")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._error: BaseException | None = None
+
+    def signal(self, error: BaseException) -> bool:
+        """Record ``error`` if no failure is recorded yet; True when first."""
+        with self._lock:
+            if self._error is None:
+                self._error = error
+                return True
+            return False
+
+    @property
+    def error(self) -> BaseException | None:
+        """The first recorded failure, if any."""
+        return self._error
+
+    def is_set(self) -> bool:
+        """Whether any worker has failed."""
+        return self._error is not None
+
+
 @dataclass(slots=True)
 class ExecutionContext:
     """Mutable per-execution state: parameters, batch size and store metrics.
@@ -107,6 +142,7 @@ class ExecutionContext:
     runtime_rows_processed: int = 0
     pool: object | None = None
     tracker: ConcurrencyTracker = field(default_factory=ConcurrencyTracker)
+    failure: FailureSignal = field(default_factory=FailureSignal)
     observations: list[tuple[str, int | None, int]] = field(default_factory=list)
     shard_reports: list[tuple[int, int]] = field(default_factory=list)
     exchange_rows: int = 0
@@ -136,6 +172,7 @@ class ExecutionContext:
             parameters=self.parameters,
             batch_size=self.batch_size,
             tracker=self.tracker,
+            failure=self.failure,
         )
 
     def merge_child(self, child: "ExecutionContext") -> None:
@@ -251,6 +288,9 @@ class DelegatedRequest(Operator):
         # Requests routed *through* a sharded store (rather than fanned out by
         # the planner) report their own contacted/pruned shard counts.
         self._sharded_router = getattr(store, "shard_count", None) is not None
+        # Requests against a replicated router resolve their replica at
+        # execution time from the store's health board.
+        self._replica_count = getattr(store, "replica_count", None)
 
     def _batches(self, context: ExecutionContext) -> Iterator[RowBatch]:
         stream = self._store.execute_stream(self._request, context.batch_size)
@@ -292,8 +332,9 @@ class DelegatedRequest(Operator):
             context.observe(self._fragment, stream.metrics.rows_returned, self._shard)
 
     def describe(self) -> str:
+        replicas = f", replicas={self._replica_count}" if self._replica_count else ""
         return (
-            f"DelegatedRequest[store={self._store.name}, {self._label}, "
+            f"DelegatedRequest[store={self._store.name}, {self._label}{replicas}, "
             f"vars={sorted(self._output.values())}]"
         )
 

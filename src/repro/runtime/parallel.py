@@ -24,23 +24,226 @@ Cancellation (LIMIT / early exit / errors) is cooperative: the engine signals
 every Exchange, workers stop between batches and close their child pipeline,
 which finalizes the store streams exactly once and merges the worker's
 metrics back into the parent context.
+
+**Failure propagation** is fail-fast: a worker exception is recorded in the
+execution's shared :class:`~repro.runtime.operators.FailureSignal`, sibling
+workers observe it between batches and stop issuing further store requests,
+and any consumer whose stream was truncated by the signal re-raises the
+*original* exception object — the first failure surfaces with its own
+traceback instead of leaving the pool draining.
+
+The module also hosts two replication-layer primitives that share the same
+cooperative-cancellation vocabulary:
+
+* a per-thread **cancel event registry** (:func:`set_current_cancel` /
+  :func:`current_cancel_event` / :func:`interruptible_sleep`): Exchange
+  workers and hedge attempt threads publish their cancel event so anything
+  simulating blocking waits below them (store service latency, injected
+  latency spikes) can abort at the next poll instead of sleeping through a
+  cancellation;
+* :func:`run_hedged`, the bounded **hedged-request** runner used by
+  :class:`~repro.stores.replicated.ReplicatedStore`: run the primary
+  attempt, fire the backup once the hedge delay elapses (or immediately when
+  the primary fails fast), first winner sets the shared cancel event so the
+  loser stops at its next cancellable wait.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Iterator
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence, TypeVar
 
 from repro.runtime.batch import RowBatch
 from repro.runtime.operators import ExecutionContext, Operator
 
-__all__ = ["DEFAULT_QUEUE_DEPTH", "ExecutorPool", "Exchange", "ExchangeState"]
+__all__ = [
+    "DEFAULT_QUEUE_DEPTH",
+    "ExecutorPool",
+    "Exchange",
+    "ExchangeState",
+    "AttemptReport",
+    "HedgeOutcome",
+    "run_hedged",
+    "set_current_cancel",
+    "current_cancel_event",
+    "interruptible_sleep",
+]
 
 DEFAULT_QUEUE_DEPTH = 8
 
 _SENTINEL = object()
+
+_T = TypeVar("_T")
+
+_cancel_registry = threading.local()
+
+
+def set_current_cancel(event: threading.Event | None) -> None:
+    """Publish (or clear) the cancel event governing the current thread."""
+    _cancel_registry.event = event
+
+
+def current_cancel_event() -> threading.Event | None:
+    """The cancel event governing the current thread, if any."""
+    return getattr(_cancel_registry, "event", None)
+
+
+def interruptible_sleep(seconds: float, event: threading.Event | None = None) -> bool:
+    """Sleep up to ``seconds``, waking early when the cancel event fires.
+
+    ``event`` defaults to the current thread's published cancel event.
+    Returns True when the full duration elapsed, False when cancelled early.
+    Used by the simulated stores' latency waits so hedged losers and
+    cancelled Exchange workers stop blocking as soon as they lose.
+    """
+    if seconds <= 0.0:
+        return True
+    if event is None:
+        event = current_cancel_event()
+    if event is None:
+        time.sleep(seconds)
+        return True
+    return not event.wait(timeout=seconds)
+
+
+# -- hedged requests ----------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class AttemptReport:
+    """What happened to one attempt of a hedged request.
+
+    ``hedged`` distinguishes *why* a backup launched: True when the hedge
+    delay elapsed with the earlier attempt still in flight (a straggler
+    hedge), False when every earlier attempt had already failed (a fail-fast
+    launch — semantically a failover, and accounted as one by callers).
+    """
+
+    index: int
+    launched: bool = False
+    completed: bool = False
+    error: BaseException | None = None
+    elapsed_seconds: float = 0.0
+    hedged: bool = False
+
+
+@dataclass(slots=True)
+class HedgeOutcome:
+    """The result of :func:`run_hedged`.
+
+    ``winner`` is the index of the first successful attempt (None when every
+    launched attempt failed), ``value`` its return value, ``backups_fired``
+    how many attempts beyond the primary were launched.  ``reports`` covers
+    every attempt (launched or not) in order; a losing attempt that is still
+    running when the winner returns stays ``completed=False``.
+    """
+
+    winner: int | None = None
+    value: object | None = None
+    backups_fired: int = 0
+    reports: list[AttemptReport] = field(default_factory=list)
+
+    def errors(self) -> list[BaseException]:
+        """The errors of every completed, failed attempt (launch order)."""
+        return [r.error for r in self.reports if r.error is not None]
+
+
+def run_hedged(
+    attempts: Sequence[Callable[[threading.Event], _T]],
+    delay_seconds: float,
+    name: str = "hedge",
+) -> HedgeOutcome:
+    """Run ``attempts`` with hedging: fire the next one after ``delay_seconds``.
+
+    The first attempt starts immediately; while no attempt has succeeded, the
+    next one is launched as soon as either the hedge delay elapses or every
+    launched attempt has already failed (failing fast skips the wait).  The
+    first success wins and sets the shared cancel :class:`threading.Event`
+    (passed to every attempt, and published as the attempt thread's current
+    cancel event) so losers stop at their next cancellable wait; their late
+    results are discarded.  The *calling* thread's published cancel event is
+    honored too: when the surrounding execution is cancelled (LIMIT
+    early-exit, sibling failure), the hedge race's cancel fires, no further
+    backups launch, and in-flight attempts abort at their next cancellable
+    wait.  Never raises — inspect the returned :class:`HedgeOutcome`.
+    """
+    count = len(attempts)
+    if count == 0:
+        return HedgeOutcome()
+    outer = current_cancel_event()
+    cancel = threading.Event()
+    condition = threading.Condition()
+    outcome = HedgeOutcome(reports=[AttemptReport(i) for i in range(count)])
+    state = {"launched": 0, "completed": 0}
+
+    def propagate_outer_cancel() -> None:
+        if outer is not None and outer.is_set():
+            cancel.set()
+
+    def runner(index: int) -> None:
+        set_current_cancel(cancel)
+        report = outcome.reports[index]
+        started = time.perf_counter()
+        try:
+            value = attempts[index](cancel)
+        except BaseException as error:  # noqa: BLE001 - reported to the caller
+            with condition:
+                report.error = error
+                report.completed = True
+                report.elapsed_seconds = time.perf_counter() - started
+                state["completed"] += 1
+                condition.notify_all()
+        else:
+            with condition:
+                report.completed = True
+                report.elapsed_seconds = time.perf_counter() - started
+                if outcome.winner is None:
+                    outcome.winner = index
+                    outcome.value = value
+                    cancel.set()
+                state["completed"] += 1
+                condition.notify_all()
+
+    def launch(index: int, hedged: bool = False) -> None:
+        outcome.reports[index].launched = True
+        outcome.reports[index].hedged = hedged
+        state["launched"] += 1
+        threading.Thread(
+            target=runner, args=(index,), daemon=True, name=f"repro-{name}-{index}"
+        ).start()
+
+    with condition:
+        launch(0)
+        next_index = 1
+        deadline = time.perf_counter() + max(0.0, delay_seconds)
+        while outcome.winner is None and next_index < count:
+            propagate_outer_cancel()
+            if cancel.is_set():
+                # The surrounding execution was cancelled: no more backups.
+                break
+            live = state["launched"] - state["completed"]
+            remaining = deadline - time.perf_counter()
+            if live == 0 or remaining <= 0:
+                # live > 0: the delay elapsed with an attempt still in flight
+                # (a straggler hedge); live == 0: everything launched so far
+                # already failed, fire the next attempt immediately (a
+                # fail-fast launch, i.e. a failover).
+                launch(next_index, hedged=live > 0)
+                next_index += 1
+                deadline = time.perf_counter() + max(0.0, delay_seconds)
+                continue
+            # Poll in short slices so an outer cancellation is noticed
+            # promptly even while waiting out the hedge delay.
+            condition.wait(timeout=min(remaining, 0.02))
+        while outcome.winner is None and state["completed"] < state["launched"]:
+            propagate_outer_cancel()
+            condition.wait(timeout=0.02)
+    outcome.backups_fired = state["launched"] - 1
+    return outcome
 
 
 class ExecutorPool:
@@ -89,6 +292,8 @@ class ExchangeState:
         "_error",
         "_inline",
         "_merged",
+        "_failure",
+        "_failure_truncated",
     )
 
     def __init__(self, child: Operator, context: ExecutionContext, queue_depth: int) -> None:
@@ -102,6 +307,8 @@ class ExchangeState:
         self._error: BaseException | None = None
         self._inline = False
         self._merged = False
+        self._failure = context.failure
+        self._failure_truncated = False
 
     # -- producer side -------------------------------------------------------------
     def submit(self, pool: ExecutorPool) -> None:
@@ -109,8 +316,8 @@ class ExchangeState:
         self._future = pool.submit(self._run)
 
     def _put(self, item: object) -> bool:
-        """Enqueue ``item``, giving up when the execution is cancelled."""
-        while not self._cancel.is_set():
+        """Enqueue ``item``, giving up on cancellation or a sibling failure."""
+        while not self._cancel.is_set() and not self._failure.is_set():
             try:
                 self._queue.put(item, timeout=0.05)
                 return True
@@ -120,14 +327,21 @@ class ExchangeState:
 
     def _run(self) -> None:
         """Worker body: drain the child pipeline into the queue."""
+        set_current_cancel(self._cancel)
         try:
             source = self._child.batches(self._sub)
             try:
                 for batch in source:
+                    if self._failure.is_set():
+                        # A sibling failed: stop issuing store requests and let
+                        # the consumer surface the sibling's original error.
+                        self._failure_truncated = True
+                        break
                     # Rows forwarded through the queue: the cross-thread data
                     # volume (partial-aggregation pushdown exists to shrink it).
                     self._sub.exchange_rows += len(batch)
                     if not self._put(batch):
+                        self._failure_truncated = self._failure.is_set()
                         break
             finally:
                 # Closing the generator runs the operators' finally blocks:
@@ -136,7 +350,9 @@ class ExchangeState:
                 source.close()
         except BaseException as error:  # noqa: BLE001 - forwarded to the consumer
             self._error = error
+            self._failure.signal(error)
         finally:
+            set_current_cancel(None)
             self._done.set()
             self._put(_SENTINEL)
 
@@ -163,6 +379,11 @@ class ExchangeState:
             # than blocking on a queue nobody fills.
             self._inline = True
             self._done.set()
+            sibling_error = self._failure.error
+            if sibling_error is not None:
+                # A sibling already failed: don't start fresh store requests
+                # for a doomed execution, surface the original failure.
+                raise sibling_error
             yield from self._child.batches(self._parent)
             return
         while True:
@@ -178,6 +399,13 @@ class ExchangeState:
         self._merge()
         if self._error is not None:
             raise self._error
+        if self._failure_truncated:
+            # This worker stopped early because a sibling failed; its stream
+            # is incomplete, so the consumer must not treat it as exhausted —
+            # re-raise the sibling's original exception (traceback intact).
+            sibling_error = self._failure.error
+            if sibling_error is not None:
+                raise sibling_error
 
     def shutdown(self) -> None:
         """Cancel the worker, wait until its pipeline is closed, merge metrics."""

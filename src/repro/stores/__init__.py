@@ -24,6 +24,7 @@ from repro.stores.fulltext import FullTextStore
 from repro.stores.keyvalue import KeyValueStore
 from repro.stores.parallel import ParallelStore
 from repro.stores.relational import RelationalStore
+from repro.stores.replicated import ReplicatedStore, ReplicationPolicy
 from repro.stores.sharded import ShardedStore
 from repro.stores.sharding import ShardingSpec, stable_hash
 
@@ -44,6 +45,8 @@ __all__ = [
     "KeyValueStore",
     "FullTextStore",
     "ParallelStore",
+    "ReplicatedStore",
+    "ReplicationPolicy",
     "ShardedStore",
     "ShardingSpec",
     "stable_hash",

@@ -142,7 +142,15 @@ StoreRequest = ScanRequest | LookupRequest | JoinRequest | SearchRequest
 
 @dataclass(slots=True)
 class StoreMetrics:
-    """Execution metrics reported by a store for one request."""
+    """Execution metrics reported by a store for one request.
+
+    ``replica_attempts`` / ``replica_retries`` / ``replica_hedges`` /
+    ``replica_failovers`` are populated only by requests served through a
+    :class:`~repro.stores.replicated.ReplicatedStore`: how many replica
+    attempts the request took, how many were same-replica retries, how many
+    backup (hedged) requests were fired, and how many times the request moved
+    on to another replica after a hard failure.
+    """
 
     rows_scanned: int = 0
     rows_returned: int = 0
@@ -150,6 +158,10 @@ class StoreMetrics:
     partitions_used: int = 0
     partitions_pruned: int = 0
     elapsed_seconds: float = 0.0
+    replica_attempts: int = 0
+    replica_retries: int = 0
+    replica_hedges: int = 0
+    replica_failovers: int = 0
 
     def merge(self, other: "StoreMetrics") -> "StoreMetrics":
         """Combine the metrics of two requests (used by composite requests)."""
@@ -160,6 +172,10 @@ class StoreMetrics:
             partitions_used=self.partitions_used + other.partitions_used,
             partitions_pruned=self.partitions_pruned + other.partitions_pruned,
             elapsed_seconds=self.elapsed_seconds + other.elapsed_seconds,
+            replica_attempts=self.replica_attempts + other.replica_attempts,
+            replica_retries=self.replica_retries + other.replica_retries,
+            replica_hedges=self.replica_hedges + other.replica_hedges,
+            replica_failovers=self.replica_failovers + other.replica_failovers,
         )
 
 
@@ -237,6 +253,10 @@ class StoreResultStream:
                 partitions_used=self._base_metrics.partitions_used,
                 partitions_pruned=self._base_metrics.partitions_pruned,
                 elapsed_seconds=self._elapsed,
+                replica_attempts=self._base_metrics.replica_attempts,
+                replica_retries=self._base_metrics.replica_retries,
+                replica_hedges=self._base_metrics.replica_hedges,
+                replica_failovers=self._base_metrics.replica_failovers,
             )
             self._store._note_request(self.metrics)
 

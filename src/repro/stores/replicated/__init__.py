@@ -1,0 +1,5 @@
+"""Replicated stores: N full copies behind one router with retry/failover/hedging."""
+
+from repro.stores.replicated.store import ReplicatedStore, ReplicationPolicy
+
+__all__ = ["ReplicatedStore", "ReplicationPolicy"]

@@ -1,0 +1,10 @@
+"""Deterministic fault injection for chaos testing and resilience benchmarks.
+
+This is *product* code, not test scaffolding: the benchmarks drive it to
+measure tail latency under injected stragglers, and operators can wrap any
+store with it to rehearse failure drills against a deployment.
+"""
+
+from repro.testing.faults import FaultInjector, FaultProfile
+
+__all__ = ["FaultInjector", "FaultProfile"]

@@ -9,6 +9,7 @@ from repro.catalog import AccessMethod, ShardingSpec, StorageDescriptor, Storage
 from repro.core import Atom, ConjunctiveQuery, ViewDefinition
 from repro.datamodel import TableSchema
 from repro.stores import DocumentStore, FullTextStore, KeyValueStore, ParallelStore, RelationalStore
+from repro.testing import FaultInjector, FaultProfile
 from repro.workloads import MarketplaceConfig, generate_marketplace
 
 
@@ -200,6 +201,89 @@ def build_sharded_marketplace_estocada(
     return est
 
 
+def build_replicated_marketplace_estocada(
+    data,
+    replicas: int = 3,
+    algorithm: str = "pacb",
+    profiles=None,
+    policy=None,
+    latency: float = 0.0,
+):
+    """The marketplace over replicated stores: purchases and visits 3-way replicated.
+
+    Users stay in a single relational instance; the two high-volume
+    collections live in full-copy replicated stores.  ``profiles`` maps a
+    replica index to the :class:`~repro.testing.FaultProfile` its
+    :class:`~repro.testing.FaultInjector` wrapper injects (replicas without a
+    profile run fault-free); both replicated stores share the same profile
+    map, so one map describes the whole chaos scenario.  ``policy`` is the
+    :class:`~repro.stores.ReplicationPolicy` of both stores.
+    """
+    profiles = profiles or {}
+    est = Estocada(algorithm=algorithm)
+    est.register_store("pg", RelationalStore("pg", latency=latency))
+
+    def factory(name: str):
+        index = int(name.rsplit(".", 1)[1])
+        inner = RelationalStore(name, latency=latency)
+        profile = profiles.get(index)
+        return FaultInjector(inner, profile) if profile is not None else inner
+
+    est.register_replicated_store("reppg", replicas, factory, policy=policy)
+    est.register_replicated_store("replog", replicas, factory, policy=policy)
+    est.register_relational_dataset(
+        "shop",
+        [
+            TableSchema("users", ("uid", "name", "city", "payment", "preferred_category"), primary_key=("uid",)),
+            TableSchema("purchases", ("uid", "sku", "category", "quantity", "price")),
+            TableSchema("visits", ("uid", "sku", "category", "duration_ms")),
+        ],
+    )
+
+    def view(name, head, body, columns):
+        return ViewDefinition(name, ConjunctiveQuery(name, head, body), column_names=columns)
+
+    est.register_fragment(
+        StorageDescriptor(
+            "F_users", "shop", "pg",
+            view("F_users", ["?u", "?n", "?c", "?p", "?pc"], [Atom("users", ["?u", "?n", "?c", "?p", "?pc"])],
+                 ("uid", "name", "city", "payment", "preferred_category")),
+            StorageLayout("users"), AccessMethod("scan"),
+        ),
+        rows=[
+            {"uid": u["uid"], "name": u["name"], "city": u["city"], "payment": u["payment"],
+             "preferred_category": u["preferred_category"]}
+            for u in data.users
+        ],
+        indexes=("uid",),
+    )
+    est.register_fragment(
+        StorageDescriptor(
+            "F_purchases", "shop", "reppg",
+            view("F_purchases", ["?u", "?s", "?c", "?q", "?pr"],
+                 [Atom("purchases", ["?u", "?s", "?c", "?q", "?pr"])],
+                 ("uid", "sku", "category", "quantity", "price")),
+            StorageLayout("purchases"), AccessMethod("scan"),
+        ),
+        rows=data.purchases(),
+        indexes=("uid", "sku"),
+    )
+    est.register_fragment(
+        StorageDescriptor(
+            "F_visits", "shop", "replog",
+            view("F_visits", ["?u", "?s", "?c", "?d"], [Atom("visits", ["?u", "?s", "?c", "?d"])],
+                 ("uid", "sku", "category", "duration_ms")),
+            StorageLayout("visits"), AccessMethod("scan"),
+        ),
+        rows=[
+            {"uid": v["uid"], "sku": v["sku"], "category": v["category"], "duration_ms": v["duration_ms"]}
+            for v in data.weblog
+        ],
+        indexes=("uid",),
+    )
+    return est
+
+
 @pytest.fixture
 def marketplace_estocada(marketplace_data):
     """A fresh, fully-wired ESTOCADA deployment for each test."""
@@ -216,3 +300,9 @@ def marketplace_builder():
 def sharded_marketplace_builder():
     """Builder for the sharded-marketplace deployment (configurable shard count)."""
     return build_sharded_marketplace_estocada
+
+
+@pytest.fixture(scope="session")
+def replicated_marketplace_builder():
+    """Builder for the replicated-marketplace deployment (fault profiles, policy)."""
+    return build_replicated_marketplace_estocada

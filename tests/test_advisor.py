@@ -1,0 +1,215 @@
+"""Property and regression tests for the storage advisor.
+
+The advisor package was the least-covered part of the codebase; these tests
+pin the three behaviors applications rely on:
+
+* **determinism** — the same workload over the same catalog yields the same
+  report (names, order, benefits), so a recommendation can be reviewed, then
+  reproduced and applied;
+* **drop-flagging** — fragments no workload query's rewriting can use are
+  flagged for dropping, and fragments that *are* used never are;
+* **benefit monotonicity** — a query's weight scales its candidates'
+  benefits linearly and never changes which candidates win, so ranking is
+  stable as traffic mixes shift.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.advisor import WorkloadQuery, enumerate_candidates, greedy_select
+from repro.advisor.heuristics import CandidateScore, weighted_workload_cost
+from repro.core import Atom, ConjunctiveQuery, Constant
+
+
+PREFS_QUERY = ConjunctiveQuery(
+    "prefs_lookup", ["?pc"], [Atom("users", [Constant(3), "?n", "?c", "?p", "?pc"])]
+)
+JOIN_QUERY = ConjunctiveQuery(
+    "personalized",
+    ["?u", "?s"],
+    [
+        Atom("purchases", ["?u", "?s", "?c", "?q", "?p"]),
+        Atom("visits", ["?u", "?s", "?c2", "?d"]),
+    ],
+)
+USERS_QUERY = ConjunctiveQuery(
+    "users_only", ["?n"], [Atom("users", [Constant(1), "?n", "?c", "?p", "?pc"])]
+)
+
+
+def _report_fingerprint(report):
+    """Everything observable about a report, in a comparable shape."""
+    return {
+        "additions": [dict(r.describe()) for r in report.additions],
+        "drops": sorted(report.drops),
+        "baseline_cost": report.baseline_cost,
+        "improved_cost": report.improved_cost,
+    }
+
+
+@pytest.fixture(scope="module")
+def advisor_estocada(marketplace_builder, marketplace_data):
+    """One marketplace deployment shared by the advisor tests (read-only use)."""
+    return marketplace_builder(marketplace_data)
+
+
+class TestRecommendationDeterminism:
+    def test_same_workload_same_report(self, advisor_estocada):
+        workload = [
+            WorkloadQuery(PREFS_QUERY, weight=10.0),
+            WorkloadQuery(JOIN_QUERY, weight=5.0),
+        ]
+        first = advisor_estocada.recommend_fragments(workload)
+        second = advisor_estocada.recommend_fragments(workload)
+        assert _report_fingerprint(first) == _report_fingerprint(second)
+
+    def test_report_is_identical_across_fresh_deployments(
+        self, marketplace_builder, marketplace_data
+    ):
+        workload = [WorkloadQuery(JOIN_QUERY, weight=3.0)]
+        reports = [
+            marketplace_builder(marketplace_data).recommend_fragments(workload)
+            for _ in range(2)
+        ]
+        assert _report_fingerprint(reports[0]) == _report_fingerprint(reports[1])
+
+    def test_candidate_enumeration_is_deterministic(self):
+        workload = [WorkloadQuery(PREFS_QUERY), WorkloadQuery(JOIN_QUERY)]
+        first = enumerate_candidates(workload)
+        second = enumerate_candidates(workload)
+        assert [(c.name, c.target_model, c.key_columns) for c in first] == [
+            (c.name, c.target_model, c.key_columns) for c in second
+        ]
+
+    def test_shared_candidates_accumulate_supporting_queries(self):
+        duplicated = [WorkloadQuery(JOIN_QUERY), WorkloadQuery(JOIN_QUERY)]
+        candidates = enumerate_candidates(duplicated)
+        join_candidates = [c for c in candidates if c.target_model == "nested"]
+        assert len(join_candidates) == 1
+        assert join_candidates[0].supporting_queries.count("personalized") == 2
+
+
+class TestDropFlagging:
+    def test_unused_fragments_are_flagged(self, advisor_estocada):
+        report = advisor_estocada.recommend_fragments([WorkloadQuery(USERS_QUERY)])
+        # Nothing in the workload can ever touch the catalog or cart data.
+        assert "F_catalog" in report.drops
+        assert "F_carts" in report.drops
+
+    def test_used_fragments_are_never_flagged(self, advisor_estocada):
+        report = advisor_estocada.recommend_fragments(
+            [WorkloadQuery(JOIN_QUERY), WorkloadQuery(USERS_QUERY)]
+        )
+        assert "F_purchases" not in report.drops
+        assert "F_visits" not in report.drops
+        assert "F_users" not in report.drops
+
+    def test_alternative_rewritings_protect_their_fragments(self, advisor_estocada):
+        # F_prefs answers user-preference lookups even though F_users does
+        # too: a fragment used by *any* feasible rewriting must survive.
+        report = advisor_estocada.recommend_fragments([WorkloadQuery(PREFS_QUERY)])
+        assert "F_prefs" not in report.drops
+        assert "F_users" not in report.drops
+
+
+class TestBenefitMonotonicity:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        low=st.integers(min_value=1, max_value=10),
+        extra=st.integers(min_value=1, max_value=20),
+    )
+    def test_higher_weight_never_lowers_a_candidate_benefit(
+        self, advisor_estocada, low, extra
+    ):
+        high = low + extra
+        report_low = advisor_estocada.recommend_fragments(
+            [WorkloadQuery(JOIN_QUERY, weight=float(low))]
+        )
+        report_high = advisor_estocada.recommend_fragments(
+            [WorkloadQuery(JOIN_QUERY, weight=float(high))]
+        )
+        benefits_low = {r.candidate.name: r.estimated_benefit for r in report_low.additions}
+        benefits_high = {r.candidate.name: r.estimated_benefit for r in report_high.additions}
+        # The same candidates win regardless of scale...
+        assert set(benefits_low) == set(benefits_high)
+        # ...and every benefit scales by exactly the weight ratio (the cost
+        # model is per-query; weights only multiply).
+        for name, benefit in benefits_low.items():
+            assert benefits_high[name] == pytest.approx(benefit * high / low, rel=1e-9)
+        assert report_high.baseline_cost == pytest.approx(
+            report_low.baseline_cost * high / low, rel=1e-9
+        )
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(weight=st.floats(min_value=0.5, max_value=50.0, allow_nan=False))
+    def test_improvement_ratio_is_scale_invariant_and_bounded(
+        self, advisor_estocada, weight
+    ):
+        report = advisor_estocada.recommend_fragments(
+            [WorkloadQuery(JOIN_QUERY, weight=weight)]
+        )
+        assert 0.0 <= report.improvement_ratio() <= 1.0
+        assert report.improved_cost <= report.baseline_cost
+
+
+class TestHeuristics:
+    @staticmethod
+    def _score(name, benefit, space):
+        from repro.advisor import CandidateFragment
+
+        query = ConjunctiveQuery(name, ["?x"], [Atom("R", ["?x"])])
+        return CandidateScore(CandidateFragment(name, query, "relational"), benefit, space)
+
+    def test_greedy_select_orders_by_benefit_per_space(self):
+        scores = [
+            self._score("wide", 100, 100),   # ratio 1
+            self._score("dense", 50, 10),    # ratio 5
+            self._score("tiny", 5, 1),       # ratio 5 (ties keep sort stability)
+        ]
+        chosen = greedy_select(scores)
+        assert [s.candidate.name for s in chosen][0] in {"dense", "tiny"}
+        assert {s.candidate.name for s in chosen} == {"wide", "dense", "tiny"}
+
+    def test_greedy_select_skips_over_budget_candidates(self):
+        scores = [
+            self._score("dense", 50, 10),
+            self._score("wide", 100, 100),
+            self._score("tiny", 5, 1),
+        ]
+        chosen = greedy_select(scores, space_budget=11)
+        assert {s.candidate.name for s in chosen} == {"dense", "tiny"}
+
+    def test_greedy_select_drops_zero_benefit(self):
+        chosen = greedy_select([self._score("useless", 0.0, 1)])
+        assert chosen == []
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_weighted_workload_cost_is_linear(self, weights):
+        workload = [
+            WorkloadQuery(
+                ConjunctiveQuery(f"q{i}", ["?x"], [Atom("R", ["?x"])]), weight=w
+            )
+            for i, w in enumerate(weights)
+        ]
+        costs = {f"q{i}": 10.0 for i in range(len(weights))}
+        assert weighted_workload_cost(costs, workload) == pytest.approx(
+            10.0 * sum(weights)
+        )

@@ -9,6 +9,14 @@ sharding subsystem: pruning, scatter-gather fan-out and partial-aggregation
 pushdown may change the plan shape and the execution schedule, but never the
 answer.
 
+The **chaos profile** extends the harness to the replication subsystem: the
+same workload runs over a 3-replica deployment under seeded fault injection
+— no faults, transient errors + retry, one hard-dead replica + failover, and
+latency spikes + hedged backup requests — and every faulted configuration
+must stay bag-identical to the unreplicated serial baseline.  The fault
+schedules are seeded (``REPRO_CHAOS_SEED``, CI runs a small seed matrix), so
+a failing example replays exactly.
+
 LIMIT queries are nondeterministic by design (any k rows of the answer are a
 correct answer), so for them the harness checks cardinality and containment
 in the full result instead of equality.
@@ -16,11 +24,17 @@ in the full result instead of equality.
 
 from __future__ import annotations
 
+import os
 from collections import Counter
 
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
+
+from repro.stores import ReplicationPolicy
+from repro.testing import FaultProfile
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "7"))
 
 
 def _canonical(value):
@@ -189,3 +203,158 @@ class TestDifferentialEquivalence:
         result = est.query("SELECT uid, sku FROM purchases", dataset="shop", parallelism=4)
         assert result.max_concurrent_requests >= 2
         assert result.summary()["shards"]["contacted"] == 8
+
+
+# -- the chaos profile ---------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def chaos_configurations(
+    marketplace_builder, replicated_marketplace_builder, marketplace_data
+):
+    """The chaos deployments under test, keyed by scenario name.
+
+    Each entry is ``(estocada, parallelism)``.  The baseline is the plain
+    multi-store deployment executed serially; every chaos scenario deploys
+    purchases and visits into 3-replica replicated stores whose replicas are
+    wrapped in seeded fault injectors.
+    """
+    seed = CHAOS_SEED
+    return {
+        "baseline": (marketplace_builder(marketplace_data), 1),
+        "replicated_clean": (replicated_marketplace_builder(marketplace_data), 4),
+        # Every replica drops ~30% of requests and loses ~15% of responses
+        # mid-stream; bounded same-replica retries must absorb all of it.
+        "transient_retry": (
+            replicated_marketplace_builder(
+                marketplace_data,
+                profiles={
+                    i: FaultProfile(seed=seed * 101 + i, error_rate=0.3, mid_stream_rate=0.15)
+                    for i in range(3)
+                },
+                policy=ReplicationPolicy(max_retries=4),
+            ),
+            4,
+        ),
+        # Replica 0 is dead on arrival; every request must fail over.
+        "dead_replica_failover": (
+            replicated_marketplace_builder(
+                marketplace_data, profiles={0: FaultProfile(crash_after=0)}
+            ),
+            4,
+        ),
+        # Random 20 ms latency spikes on every replica; hedged backups cut
+        # the spike to the hedge delay without changing any answer.
+        "hedged_slow_replica": (
+            replicated_marketplace_builder(
+                marketplace_data,
+                profiles={
+                    i: FaultProfile(seed=seed * 211 + i, slow_rate=0.35, slow_seconds=0.02)
+                    for i in range(3)
+                },
+                policy=ReplicationPolicy(hedge=True, hedge_delay_seconds=0.004),
+            ),
+            4,
+        ),
+    }
+
+
+class TestChaosDifferential:
+    """Replicated deployments under injected faults never change an answer."""
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(case=sql_queries())
+    def test_chaos_queries_agree_with_unreplicated_baseline(
+        self, chaos_configurations, case
+    ):
+        sql, limit = case
+        reference_est, _ = chaos_configurations["baseline"]
+        if limit is None:
+            expected = _bag(reference_est.query(sql, dataset="shop", parallelism=1).rows)
+            for name, (est, parallelism) in chaos_configurations.items():
+                got = _bag(est.query(sql, dataset="shop", parallelism=parallelism).rows)
+                assert got == expected, f"{name} diverged on {sql!r} (seed {CHAOS_SEED})"
+        else:
+            full_sql = sql[: sql.rindex(" LIMIT ")]
+            full = _bag(reference_est.query(full_sql, dataset="shop", parallelism=1).rows)
+            expected_count = min(limit, sum(full.values()))
+            for name, (est, parallelism) in chaos_configurations.items():
+                result = est.query(sql, dataset="shop", parallelism=parallelism)
+                assert len(result.rows) == expected_count, (
+                    f"{name} wrong count on {sql!r} (seed {CHAOS_SEED})"
+                )
+                got = _bag(result.rows)
+                assert all(got[key] <= full[key] for key in got), (
+                    f"{name} returned rows outside the full answer on {sql!r}"
+                )
+
+    def test_dead_replica_reports_failovers(
+        self, marketplace_builder, replicated_marketplace_builder, marketplace_data
+    ):
+        est = replicated_marketplace_builder(
+            marketplace_data, profiles={0: FaultProfile(crash_after=0)}
+        )
+        sql = "SELECT uid, sku, price FROM purchases"
+        result = est.query(sql, dataset="shop", parallelism=4)
+        assert result.summary()["replicas"]["failovers"] > 0
+        baseline = marketplace_builder(marketplace_data).query(
+            sql, dataset="shop", parallelism=1
+        )
+        assert _bag(result.rows) == _bag(baseline.rows)
+        # Once the board marks the dead replica unhealthy, later queries stop
+        # paying the failed round-trip (requests route around it up front).
+        for _ in range(4):
+            est.query(sql, dataset="shop", parallelism=4)
+        settled = est.query(sql, dataset="shop", parallelism=4)
+        assert settled.summary()["replicas"]["failovers"] == 0
+        health = est.replication_configuration()["reppg"]["health"]
+        assert health[0]["healthy"] is False
+
+    def test_transient_errors_report_retries(
+        self, marketplace_builder, replicated_marketplace_builder, marketplace_data
+    ):
+        est = replicated_marketplace_builder(
+            marketplace_data,
+            profiles={
+                i: FaultProfile(seed=CHAOS_SEED * 17 + i, error_rate=0.5) for i in range(3)
+            },
+            policy=ReplicationPolicy(max_retries=4),
+        )
+        sql = "SELECT uid, sku, price FROM purchases"
+        baseline = _bag(
+            marketplace_builder(marketplace_data).query(sql, dataset="shop", parallelism=1).rows
+        )
+        retries = 0
+        for _ in range(5):
+            result = est.query(sql, dataset="shop", parallelism=4)
+            assert _bag(result.rows) == baseline
+            retries += result.summary()["replicas"]["retries"]
+        assert retries > 0
+
+    def test_hedged_slow_replica_reports_hedges(
+        self, marketplace_builder, replicated_marketplace_builder, marketplace_data
+    ):
+        # Replica 0 is a deterministic straggler and the policy pins it as
+        # the preferred replica (a "read-local" deployment whose local copy
+        # went slow): every purchases request must hedge to a backup.
+        est = replicated_marketplace_builder(
+            marketplace_data,
+            profiles={0: FaultProfile(seed=CHAOS_SEED, slow_rate=1.0, slow_seconds=0.05)},
+            policy=ReplicationPolicy(
+                hedge=True, hedge_delay_seconds=0.004, prefer_order=(0, 1, 2)
+            ),
+        )
+        sql = "SELECT uid, sku, price FROM purchases"
+        baseline = _bag(
+            marketplace_builder(marketplace_data).query(sql, dataset="shop", parallelism=1).rows
+        )
+        result = est.query(sql, dataset="shop", parallelism=4)
+        assert _bag(result.rows) == baseline
+        assert result.summary()["replicas"]["hedges"] > 0
+        # The backup's win is credited on the health board.
+        health = est.replication_configuration()["reppg"]["health"]
+        assert sum(entry["hedges_won"] for entry in health) > 0

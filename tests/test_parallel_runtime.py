@@ -197,6 +197,99 @@ class TestCancellation:
         assert store.requests_served == 1
 
 
+class _SlowRows(Operator):
+    """A batch source that sleeps between batches and counts what it produced."""
+
+    def __init__(self, columns, rows, delay=0.005):
+        self._columns = tuple(columns)
+        self._rows = list(rows)
+        self._delay = delay
+        self.batches_produced = 0
+
+    def _batches(self, context):
+        import time
+
+        for index in range(0, len(self._rows), context.batch_size):
+            time.sleep(self._delay)
+            self.batches_produced += 1
+            yield RowBatch(self._columns, self._rows[index : index + context.batch_size])
+
+
+class TestFailFastPropagation:
+    """A worker failure must cancel siblings and surface the original error.
+
+    Regression: before the FailureSignal, a failure in a late ShardGather
+    branch surfaced only after every earlier branch was fully drained, and
+    sibling workers kept issuing store requests for a doomed execution.
+    """
+
+    def test_late_branch_failure_surfaces_before_slow_siblings_drain(self):
+        from repro.runtime import ShardGather
+
+        slow = _SlowRows(("a",), [(i,) for i in range(400)], delay=0.005)
+        failing = _Rows(("a",), [(i,) for i in range(32)], fail_after=4)
+        plan = ShardGather(
+            [Exchange(slow, label="slow"), Exchange(failing, label="failing")],
+            fragment="F_chaos",
+        )
+        engine = ExecutionEngine(batch_size=4)
+        with pytest.raises(ExecutionError, match="injected failure"):
+            engine.execute(plan, parallelism=4)
+        # The slow sibling was cancelled long before its 100 batches ran out:
+        # the failure fired within the first batches of the failing branch.
+        assert slow.batches_produced < 100
+        engine.close()
+
+    def test_original_traceback_is_preserved(self):
+        from repro.runtime import ShardGather
+
+        slow = _SlowRows(("a",), [(i,) for i in range(200)], delay=0.005)
+        failing = _Rows(("a",), [(i,) for i in range(8)], fail_after=0)
+        plan = ShardGather([Exchange(slow), Exchange(failing)])
+        engine = ExecutionEngine(batch_size=4)
+        with pytest.raises(ExecutionError) as excinfo:
+            engine.execute(plan, parallelism=4)
+        import traceback
+
+        frames = traceback.extract_tb(excinfo.value.__traceback__)
+        # The failing operator's own frame is in the surfaced traceback.
+        assert any(frame.name == "_batches" for frame in frames)
+        engine.close()
+
+    def test_hash_join_build_failure_cancels_probe_side(self):
+        from repro.runtime import HashJoin
+
+        slow = _SlowRows(("a",), [(i,) for i in range(400)], delay=0.005)
+        failing = _Rows(("a",), [(i,) for i in range(32)], fail_after=4)
+        plan = HashJoin(Exchange(slow), Exchange(failing))
+        engine = ExecutionEngine(batch_size=4)
+        with pytest.raises(ExecutionError, match="injected failure"):
+            engine.execute(plan, parallelism=4)
+        assert slow.batches_produced < 100
+        engine.close()
+
+    def test_serial_execution_error_semantics_unchanged(self):
+        from repro.runtime import ShardGather
+
+        healthy = _Rows(("a",), [(i,) for i in range(8)])
+        failing = _Rows(("a",), [(i,) for i in range(8)], fail_after=4)
+        plan = ShardGather([Exchange(healthy), Exchange(failing)])
+        engine = ExecutionEngine(batch_size=4)
+        with pytest.raises(ExecutionError, match="injected failure"):
+            engine.execute(plan, parallelism=1)
+        engine.close()
+
+    def test_successful_runs_do_not_trip_the_signal(self):
+        from repro.runtime import ShardGather
+
+        branches = [Exchange(_Rows(("a",), [(i,) for i in range(20)])) for _ in range(3)]
+        plan = ShardGather(branches)
+        engine = ExecutionEngine(batch_size=4)
+        result = engine.execute(plan, parallelism=4)
+        assert len(result.rows) == 60
+        engine.close()
+
+
 QUERIES = [
     ("SELECT uid FROM users WHERE city = 'paris'", "shop"),
     ("SELECT uid, COUNT(sku) AS n FROM purchases GROUP BY uid", "shop"),
