@@ -1,0 +1,222 @@
+"""E13 — the native columnar batch pipeline: compiled kernels and fusion.
+
+Three execution paths answer the same workloads over the same deployment and
+the per-query wall-clock trajectories are written to ``BENCH_e13.json``:
+
+* **interpreted** (``REPRO_COMPILED=0``) — the PR 4 dict-boundary baseline:
+  stores return dict rows, the runtime repacks them into batches and
+  re-interprets every residual filter/projection per row;
+* **compiled** (``REPRO_COMPILED=1 REPRO_FUSED=0``) — stores stream native
+  row-tuple ``RowBatch`` objects end-to-end and every residual step runs as
+  a per-batch kernel, but each step is its own single-stage pipeline;
+* **fused** (``REPRO_COMPILED=1 REPRO_FUSED=1``, the default) — the whole
+  Filter → Project → Output (→ LIMIT) chain collapses into one operator.
+
+Workloads: a scan-heavy filter/project query, a mediator hash join
+(vectorized build/probe on the compiled paths), and a grouped aggregation.
+The plan cache is warmed once so the trajectories measure execution, not
+rewriting.  Acceptance: every mode returns the identical bag, and the
+compiled+fused path is ≥ 2x the interpreted baseline on the scan-heavy
+workload (wall-clock threshold skipped under ``REPRO_BENCH_SMOKE=1``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import statistics
+import time
+from collections import Counter
+from pathlib import Path
+
+from repro import Estocada
+from repro.catalog import AccessMethod, StorageDescriptor, StorageLayout
+from repro.core import Atom, ConjunctiveQuery, ViewDefinition
+from repro.datamodel import TableSchema
+from repro.stores import RelationalStore
+
+RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_e13.json"
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+ITERATIONS = 3 if SMOKE else 15
+PURCHASES = 2_000 if SMOKE else 30_000
+VISITS = 1_000 if SMOKE else 8_000
+
+MODES = {
+    "interpreted": {"REPRO_COMPILED": "0", "REPRO_FUSED": "1"},
+    "compiled": {"REPRO_COMPILED": "1", "REPRO_FUSED": "0"},
+    "fused": {"REPRO_COMPILED": "1", "REPRO_FUSED": "1"},
+}
+
+WORKLOADS = {
+    # Residual ">=" filter + projection + output shaping: the pure operator
+    # hot path the kernel compiler targets (the filter keeps ~10% of rows).
+    "scan_filter_project": "SELECT uid, sku, price FROM purchases WHERE price >= 900",
+    # Mediator-side equi-join: vectorized hash build/probe on the compiled
+    # paths, per-row tuple keys on the interpreted one.
+    "join_purchases_visits": (
+        "SELECT p.sku, v.duration_ms FROM purchases p, visits v "
+        "WHERE p.uid = v.uid AND p.sku = v.sku"
+    ),
+    # Blocking grouped aggregation fed by the native scan stream.
+    "aggregate_by_category": (
+        "SELECT category, COUNT(sku) AS n, SUM(price) AS total "
+        "FROM purchases GROUP BY category"
+    ),
+}
+
+
+def _view(name, head, body, columns):
+    return ViewDefinition(name, ConjunctiveQuery(name, head, body), column_names=columns)
+
+
+def _build() -> Estocada:
+    rng = random.Random(13)
+    est = Estocada()
+    est.register_store("pg", RelationalStore("pg"))
+    # Visits live in a second store so the join stays *mediator-side* (a
+    # single store would absorb it as a delegated store-side JoinRequest and
+    # the vectorized hash join would never run).
+    est.register_store("pg2", RelationalStore("pg2"))
+    est.register_relational_dataset(
+        "shop",
+        [
+            TableSchema("purchases", ("uid", "sku", "category", "price")),
+            TableSchema("visits", ("uid", "sku", "duration_ms")),
+        ],
+    )
+    est.register_fragment(
+        StorageDescriptor(
+            "F_purchases", "shop", "pg",
+            _view("F_purchases", ["?u", "?s", "?c", "?p"],
+                  [Atom("purchases", ["?u", "?s", "?c", "?p"])],
+                  ("uid", "sku", "category", "price")),
+            StorageLayout("purchases"), AccessMethod("scan"),
+        ),
+        rows=[
+            {
+                "uid": rng.randrange(1000),
+                "sku": f"s{rng.randrange(200)}",
+                "category": f"c{rng.randrange(12)}",
+                "price": float(rng.randrange(1000)),
+            }
+            for _ in range(PURCHASES)
+        ],
+    )
+    est.register_fragment(
+        StorageDescriptor(
+            "F_visits", "shop", "pg2",
+            _view("F_visits", ["?u", "?s", "?d"],
+                  [Atom("visits", ["?u", "?s", "?d"])],
+                  ("uid", "sku", "duration_ms")),
+            StorageLayout("visits"), AccessMethod("scan"),
+        ),
+        rows=[
+            {
+                "uid": rng.randrange(1000),
+                "sku": f"s{rng.randrange(200)}",
+                "duration_ms": rng.randrange(60_000),
+            }
+            for _ in range(VISITS)
+        ],
+    )
+    return est
+
+
+def _bag(rows):
+    return Counter(tuple(sorted(r.items())) for r in rows)
+
+
+def _with_mode(env):
+    saved = {key: os.environ.get(key) for key in env}
+    os.environ.update(env)
+    return saved
+
+
+def _restore(saved):
+    for key, value in saved.items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+
+
+def test_e13_report(capsys):
+    est = _build()
+    report_modes: dict[str, dict] = {name: {"workloads": {}} for name in MODES}
+    bags: dict[str, dict[str, Counter]] = {name: {} for name in WORKLOADS}
+
+    for mode, env in MODES.items():
+        saved = _with_mode(env)
+        try:
+            for workload, sql in WORKLOADS.items():
+                est.query(sql, dataset="shop")  # warm the plan cache + stores
+                trajectory = []
+                for _ in range(ITERATIONS):
+                    started = time.perf_counter()
+                    result = est.query(sql, dataset="shop")
+                    trajectory.append(time.perf_counter() - started)
+                bags[workload][mode] = _bag(result.rows)
+                report_modes[mode]["workloads"][workload] = {
+                    "mean_seconds": statistics.mean(trajectory),
+                    "median_seconds": statistics.median(trajectory),
+                    "trajectory_seconds": trajectory,
+                    "rows": len(result.rows),
+                    "execution": {
+                        key: value
+                        for key, value in result.summary()["execution"].items()
+                        if key != "operators"
+                    },
+                    "operators": result.summary()["execution"]["operators"],
+                }
+        finally:
+            _restore(saved)
+
+    # Differential guarantee: all three paths return the identical bag.
+    for workload, by_mode in bags.items():
+        reference = by_mode["interpreted"]
+        for mode, bag in by_mode.items():
+            assert bag == reference, f"{mode} diverged on {workload}"
+
+    speedups = {
+        workload: {
+            mode: (
+                report_modes["interpreted"]["workloads"][workload]["mean_seconds"]
+                / report_modes[mode]["workloads"][workload]["mean_seconds"]
+            )
+            for mode in MODES
+        }
+        for workload in WORKLOADS
+    }
+
+    report = {
+        "benchmark": "e13_columnar_kernels",
+        "iterations": ITERATIONS,
+        "smoke": SMOKE,
+        "rows": {"purchases": PURCHASES, "visits": VISITS},
+        "modes": report_modes,
+        "speedups_over_interpreted": speedups,
+    }
+    RESULT_FILE.write_text(json.dumps(report, indent=2) + "\n")
+
+    with capsys.disabled():
+        print("\n[E13] native columnar batch pipeline (interpreted vs compiled vs fused)")
+        for workload in WORKLOADS:
+            interpreted = report_modes["interpreted"]["workloads"][workload]["mean_seconds"]
+            compiled = report_modes["compiled"]["workloads"][workload]["mean_seconds"]
+            fused = report_modes["fused"]["workloads"][workload]["mean_seconds"]
+            print(
+                f"  {workload:24s} {interpreted * 1e3:8.2f} ms → {compiled * 1e3:8.2f} ms"
+                f" → {fused * 1e3:8.2f} ms   ({speedups[workload]['fused']:.2f}x fused)"
+            )
+        print(f"  trajectory written to  {RESULT_FILE.name}")
+
+    if not SMOKE:
+        # Acceptance: ≥ 2x on the scan-heavy filter/project workload for the
+        # compiled+fused native-batch path over the dict-boundary baseline.
+        scan_speedup = speedups["scan_filter_project"]["fused"]
+        assert scan_speedup >= 2.0, f"fused scan speedup {scan_speedup:.2f}x below 2x"
+        # The kernels must never be slower than interpreted on the other
+        # workloads (generous floor — they are dominated by join/group work).
+        assert speedups["join_purchases_visits"]["fused"] >= 1.0
+        assert speedups["aggregate_by_category"]["fused"] >= 1.0

@@ -37,9 +37,16 @@ from repro.errors import NoRewritingFoundError, TranslationError
 from repro.languages.docql import DocumentQuery
 from repro.languages.sql.translator import SqlTranslator, TranslatedQuery
 from repro.plan.physical import push_partial_aggregation
-from repro.runtime.batch import RowBatch
+from repro.runtime.batch import RowBatch, compiled_enabled
 from repro.runtime.engine import ExecutionEngine, QueryResult
-from repro.runtime.operators import Aggregate, Deduplicate, Filter, Operator
+from repro.runtime.kernels import (
+    FilterStage,
+    OutputStage,
+    PredicateSpec,
+    ProjectStage,
+    attach_stage,
+)
+from repro.runtime.operators import Aggregate, Deduplicate, Filter, Operator, Project
 from repro.stores.base import COMPARATORS, Store
 from repro.stores.replicated import ReplicatedStore, ReplicationPolicy
 from repro.stores.sharded import ShardedStore
@@ -161,11 +168,12 @@ class Estocada:
         plan_cache_size: int = 128,
         parallelism: int | None = None,
         drift_threshold: float = 0.5,
+        batch_size: int | None = None,
     ) -> None:
         self._manager = StorageDescriptorManager()
         self._statistics = StatisticsCatalog(self._manager)
         self._cost_model = CostModel(self._statistics, profiles=cost_profiles)
-        self._engine = ExecutionEngine(parallelism=parallelism)
+        self._engine = ExecutionEngine(batch_size=batch_size, parallelism=parallelism)
         self._algorithm = algorithm
         self._chase_config = chase_config or ChaseConfig()
         self._relational_schemas: dict[str, RelationalSchema] = {}
@@ -194,10 +202,17 @@ class Estocada:
         """The default executor width queries run with (1 = serial)."""
         return self._engine.parallelism
 
+    @property
+    def batch_size(self) -> int:
+        """The batch size queries stream with (``REPRO_BATCH_SIZE`` unless set)."""
+        return self._engine.batch_size
+
     def executor_config(self) -> Mapping[str, object]:
-        """JSON-friendly executor configuration (width, drift threshold)."""
+        """JSON-friendly executor configuration (width, batching, drift threshold)."""
         return {
             "parallelism": self._engine.parallelism,
+            "batch_size": self._engine.batch_size,
+            "compiled": compiled_enabled(),
             "drift_threshold": self._drift_threshold,
         }
 
@@ -506,6 +521,11 @@ class Estocada:
             + f"\n-- plan cache: {'hit' if cache_hit else 'miss'}"
             + f", batches: {result.batches}"
             + f", parallelism: {result.parallelism}"
+            + (
+                ", compiled kernels" + (" (fused)" if result.fused else "")
+                if result.compiled
+                else ", interpreted"
+            )
             + sharding_note
         )
         self._absorb_observations(result)
@@ -568,35 +588,63 @@ class Estocada:
         aggregation,
         extras: dict,
     ) -> Operator:
-        for predicate in residual:
-            comparator = COMPARATORS[predicate.op]
-            if predicate.value_is_column:
-                root = Filter(
-                    root,
-                    lambda b, p=predicate, c=comparator: (
-                        b.get(p.variable) is not None
-                        and b.get(p.value) is not None
-                        and c(b.get(p.variable), b.get(p.value))
-                    ),
-                    label=f"{predicate.variable} {predicate.op} {predicate.value}",
-                )
-            else:
-                root = Filter(
-                    root,
-                    lambda b, p=predicate, c=comparator: (
-                        b.get(p.variable) is not None and c(b.get(p.variable), p.value)
-                    ),
-                    label=f"{predicate.variable} {predicate.op} {predicate.value!r}",
-                )
+        """Wrap the chosen plan with the residual (non-conjunctive) work.
+
+        On the compiled path (``REPRO_COMPILED``, default on) the residual
+        filters, the plan's terminal projection and the output shaping become
+        declarative kernel stages — with fusion on (``REPRO_FUSED``) the
+        whole Filter → Project → Output (→ LIMIT) chain collapses into one
+        :class:`~repro.runtime.kernels.FusedPipeline`.  With the compiled
+        path off, the interpreted per-row operators of the seed engine are
+        built instead; the two paths are held bag-identical by the
+        differential suite.
+        """
+        compiled = compiled_enabled()
+        if compiled and isinstance(root, Project):
+            root = attach_stage(
+                root.children()[0],
+                ProjectStage(root.variables, tuple(root.renaming.items())),
+            )
+        # Aggregation pushdown pattern-matches a (possibly projected) shard
+        # gather — the interpreted Project shape or, on the compiled path,
+        # the fused ProjectStage chain just built above.
+        pushed = (
+            push_partial_aggregation(root, aggregation.group_by, aggregation.aggregations)
+            if aggregation is not None and not residual
+            else None
+        )
+
+        if compiled and residual:
+            specs = tuple(
+                PredicateSpec(p.variable, p.op, p.value, p.value_is_column)
+                for p in residual
+            )
+            root = attach_stage(root, FilterStage(specs))
+        else:
+            for predicate in residual:
+                comparator = COMPARATORS[predicate.op]
+                if predicate.value_is_column:
+                    root = Filter(
+                        root,
+                        lambda b, p=predicate, c=comparator: (
+                            b.get(p.variable) is not None
+                            and b.get(p.value) is not None
+                            and c(b.get(p.variable), b.get(p.value))
+                        ),
+                        label=f"{predicate.variable} {predicate.op} {predicate.value}",
+                    )
+                else:
+                    root = Filter(
+                        root,
+                        lambda b, p=predicate, c=comparator: (
+                            b.get(p.variable) is not None and c(b.get(p.variable), p.value)
+                        ),
+                        label=f"{predicate.variable} {predicate.op} {predicate.value!r}",
+                    )
         if aggregation is not None:
             # Over a sharded fragment scan (and with no mediator-side residual
             # filters in between) the aggregation decomposes: each shard
             # pre-aggregates its own rows, the mediator merges partial states.
-            pushed = (
-                push_partial_aggregation(root, aggregation.group_by, aggregation.aggregations)
-                if not residual
-                else None
-            )
             root = (
                 pushed
                 if pushed is not None
@@ -607,7 +655,22 @@ class Estocada:
         pivot_set_semantics = output_names is None and aggregation is None
         if extras.get("distinct") or pivot_set_semantics:
             root = Deduplicate(root)
-        root = _RenameAndLimit(root, pivot_query, output_names, extras.get("limit"))
+        limit = extras.get("limit")
+        if compiled:
+            if output_names is not None:
+                outputs = tuple(
+                    (
+                        name,
+                        isinstance(term, Variable),
+                        term.name if isinstance(term, Variable) else term.value,
+                    )
+                    for name, term in zip(output_names, pivot_query.head_terms)
+                )
+                root = attach_stage(root, OutputStage(outputs), limit)
+            elif limit is not None:
+                root = attach_stage(root, None, limit)
+        else:
+            root = _RenameAndLimit(root, pivot_query, output_names, limit)
         return root
 
     # -- storage advisor ------------------------------------------------------------------------

@@ -8,18 +8,27 @@ aligned with the schema.  Compared to per-row dicts this removes one dict
 allocation and one hash probe per column per row on the hot path, and lets
 operators resolve column positions once per batch instead of once per row.
 
-Bindings (``dict[str, object]``) remain the *boundary* representation: stores
-return dict rows, predicates and request factories receive dict views, and the
-terminal collection in :class:`~repro.runtime.engine.ExecutionEngine` converts
-the final batches back to bindings.
+Bindings (``dict[str, object]``) are the *boundary* representation for the
+interpreted fallback path (``REPRO_COMPILED=0``) and for point probes: stores
+then return dict rows, predicates and request factories receive dict views,
+and the terminal collection in
+:class:`~repro.runtime.engine.ExecutionEngine` converts the final batches
+back to bindings.  On the compiled path the stores themselves produce
+:class:`RowBatch` streams (:meth:`repro.stores.base.Store.execute_batches`),
+so tuples flow end-to-end and the dict round-trip disappears from the scan
+hot path.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Iterator, Mapping, Sequence
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
+    "default_batch_size",
+    "compiled_enabled",
+    "fusion_enabled",
     "RowBatch",
     "BatchBuilder",
     "batches_from_bindings",
@@ -28,11 +37,71 @@ __all__ = [
 
 DEFAULT_BATCH_SIZE = 256
 
+_OFF = frozenset(("0", "false", "no", "off"))
+
+
+def compiled_enabled() -> bool:
+    """Whether the compiled native-batch path is on (``REPRO_COMPILED``, default on).
+
+    The flag lives here (not in :mod:`repro.runtime.kernels`) because both the
+    operators and the store layer consult it, and this module is the one
+    dependency they already share.
+    """
+    return os.environ.get("REPRO_COMPILED", "").strip().lower() not in _OFF
+
+
+def fusion_enabled() -> bool:
+    """Whether operator-chain fusion is on (``REPRO_FUSED``, default on).
+
+    Only consulted when the compiled path is enabled; the interpreted
+    fallback never fuses.
+    """
+    return os.environ.get("REPRO_FUSED", "").strip().lower() not in _OFF
+
+
+def default_batch_size() -> int:
+    """The process-wide default batch size (``REPRO_BATCH_SIZE``, else 256).
+
+    An unparseable value falls back to the default; an explicit value below 1
+    is a configuration error and raises — a zero/negative batch size would
+    silently stall every stream.
+    """
+    raw = os.environ.get("REPRO_BATCH_SIZE", "").strip()
+    if not raw:
+        return DEFAULT_BATCH_SIZE
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_BATCH_SIZE
+    if value < 1:
+        raise ValueError(f"REPRO_BATCH_SIZE must be >= 1, got {value}")
+    return value
+
+
+_SCALAR_TYPES = frozenset((str, int, float, bool, bytes, type(None)))
+
+
+class _FrozenItems(tuple):
+    """An already-frozen dict payload (sorted key/value pairs).
+
+    Tagging the tuple lets :func:`freeze_value` return it unchanged when the
+    same payload is frozen again — hash-join and deduplication keys over
+    nested values are built repeatedly from the same rows, and re-sorting an
+    already-canonical payload on every call was pure waste.
+    """
+
+    __slots__ = ()
+
 
 def freeze_value(value: object) -> object:
     """A hashable stand-in for ``value`` (lists/dicts become nested tuples)."""
+    if value.__class__ in _SCALAR_TYPES:
+        # The overwhelmingly common case: plain scalars are already hashable.
+        return value
+    if isinstance(value, _FrozenItems):
+        return value
     if isinstance(value, dict):
-        return tuple(sorted((k, freeze_value(v)) for k, v in value.items()))
+        return _FrozenItems(sorted((k, freeze_value(v)) for k, v in value.items()))
     if isinstance(value, (list, tuple)):
         return tuple(freeze_value(v) for v in value)
     if isinstance(value, set):

@@ -24,7 +24,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.runtime.batch import DEFAULT_BATCH_SIZE
+from repro.runtime.batch import compiled_enabled, default_batch_size, fusion_enabled
 from repro.runtime.operators import ExecutionContext, Operator
 from repro.runtime.parallel import Exchange, ExecutorPool
 from repro.runtime.values import Binding
@@ -77,6 +77,10 @@ class QueryResult:
     shards_contacted: int = 0
     shards_pruned: int = 0
     exchange_rows: int = 0
+    batch_size: int = 0
+    compiled: bool = True
+    fused: bool = True
+    operator_stats: dict[str, dict[str, float]] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -124,6 +128,15 @@ class QueryResult:
                 "pruned": self.shards_pruned,
             },
             "replicas": dict(self.replica_activity()),
+            "execution": {
+                "batch_size": self.batch_size,
+                "compiled": self.compiled,
+                "fused": self.fused,
+                "runtime_rows_processed": self.runtime_rows_processed,
+                "operators": {
+                    name: dict(stats) for name, stats in self.operator_stats.items()
+                },
+            },
             "stores": {
                 name: {
                     "requests": breakdown.requests,
@@ -148,9 +161,13 @@ class ExecutionEngine:
     """
 
     def __init__(
-        self, batch_size: int = DEFAULT_BATCH_SIZE, parallelism: int | None = None
+        self, batch_size: int | None = None, parallelism: int | None = None
     ) -> None:
-        self._batch_size = max(1, batch_size)
+        if batch_size is None:
+            batch_size = default_batch_size()
+        elif batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self._batch_size = batch_size
         self._parallelism = (
             default_parallelism() if parallelism is None else max(1, parallelism)
         )
@@ -160,6 +177,11 @@ class ExecutionEngine:
     def parallelism(self) -> int:
         """The engine's default executor width."""
         return self._parallelism
+
+    @property
+    def batch_size(self) -> int:
+        """The engine's default batch size (``REPRO_BATCH_SIZE`` unless set)."""
+        return self._batch_size
 
     def _pool(self, width: int) -> ExecutorPool:
         pool = self._pools.get(width)
@@ -240,6 +262,19 @@ class ExecutionEngine:
 
         shards_contacted = sum(contacted for contacted, _ in context.shard_reports)
         shards_pruned = sum(pruned for _, pruned in context.shard_reports)
+        compiled = compiled_enabled()
+
+        # Per-operator batch/row throughput: rows-per-second is computed
+        # against the whole execution's wall clock (operators overlap and
+        # pipeline, so per-operator timing would double-charge shared time).
+        operator_stats = {
+            name: {
+                "batches": batches,
+                "rows": rows,
+                "rows_per_second": (rows / elapsed) if elapsed > 0 else 0.0,
+            }
+            for name, (batches, rows) in sorted(context.operator_tallies.items())
+        }
 
         return QueryResult(
             rows=rows,
@@ -255,4 +290,10 @@ class ExecutionEngine:
             shards_contacted=shards_contacted,
             shards_pruned=shards_pruned,
             exchange_rows=context.exchange_rows,
+            batch_size=context.batch_size,
+            compiled=compiled,
+            # The interpreted path never fuses: `fused` reports whether fused
+            # kernels could actually have run, not the raw env switch.
+            fused=compiled and fusion_enabled(),
+            operator_stats=operator_stats,
         )

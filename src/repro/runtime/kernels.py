@@ -1,0 +1,369 @@
+"""Per-plan compiled kernels: batch-at-a-time closures over tuple rows.
+
+The interpreted runtime evaluates residual predicates, projections and output
+shaping row by row, rebuilding a binding dict per row just to call a
+``dict``-based predicate.  This module compiles those per-row interpretations
+into **kernels**: closures specialized against a batch schema exactly once,
+operating on plain row tuples by column *position*.
+
+Three pieces:
+
+* **kernel builders** (:func:`predicate_kernel`, :func:`projection_kernel`,
+  :func:`key_kernel`) — turn a declarative spec plus a schema into a closure
+  over whole row lists (`itemgetter`-backed where every column resolves);
+  :func:`key_kernel` is the vectorized hash-join build/probe primitive — it
+  extracts the key column(s) of an entire batch in one pass and represents
+  single-column keys as bare scalars (no per-row tuple allocation);
+* **stages** (:class:`FilterStage`, :class:`ProjectStage`,
+  :class:`OutputStage`) — the declarative, fusable forms of the runtime's
+  Filter / Project / output-shaping operators.  Being data (not opaque
+  callables), stages can be concatenated by the physical-lowering fusion
+  pass;
+* :class:`FusedPipeline` — a single operator evaluating a chain of stages
+  (plus an optional LIMIT) in one pass per batch: rows are filtered,
+  projected and reshaped without ever materializing the intermediate
+  batches the unfused operator chain would produce.
+
+``REPRO_COMPILED=0`` disables the whole compiled path (stores fall back to
+dict streams, residual work to the interpreted operators); ``REPRO_FUSED=0``
+keeps the compiled kernels but disables chain fusion — the benchmark uses
+the two switches to separate the wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from operator import itemgetter
+from typing import Callable, Iterator, Sequence
+
+from repro.runtime.batch import RowBatch, compiled_enabled, fusion_enabled
+from repro.runtime.operators import ExecutionContext, Operator
+from repro.stores.base import COMPARATORS
+
+__all__ = [
+    "compiled_enabled",
+    "fusion_enabled",
+    "PredicateSpec",
+    "predicate_kernel",
+    "projection_kernel",
+    "key_kernel",
+    "FilterStage",
+    "ProjectStage",
+    "OutputStage",
+    "FusedPipeline",
+    "attach_stage",
+]
+
+
+# -- kernel builders -----------------------------------------------------------------
+
+RowsKernel = Callable[[list], list]
+
+
+@dataclass(frozen=True, slots=True)
+class PredicateSpec:
+    """One residual comparison, compilable against any batch schema.
+
+    ``value`` is a literal, or — with ``value_is_column`` — the name of the
+    other column.  Semantics mirror the interpreted residual filters: a
+    ``None`` operand (or a column absent from the schema) fails the
+    comparison.
+    """
+
+    column: str
+    op: str
+    value: object
+    value_is_column: bool = False
+
+    def describe(self) -> str:
+        """Compact rendering for plan text."""
+        target = self.value if self.value_is_column else repr(self.value)
+        return f"{self.column} {self.op} {target}"
+
+
+def predicate_kernel(specs: Sequence[PredicateSpec], schema: Sequence[str]) -> RowsKernel:
+    """Compile a conjunction of comparisons into one batch-level filter.
+
+    Column positions are resolved against ``schema`` here, once; the
+    returned closure filters a whole row list with direct tuple indexing.
+    """
+    schema = tuple(schema)
+    checks: list[tuple[int | None, Callable, object, bool]] = []
+    for spec in specs:
+        comparator = COMPARATORS[spec.op]
+        left = schema.index(spec.column) if spec.column in schema else None
+        if spec.value_is_column:
+            right = schema.index(spec.value) if spec.value in schema else None
+            checks.append((left, comparator, right, True))
+        else:
+            checks.append((left, comparator, spec.value, False))
+
+    if any(
+        left is None or (is_column and right is None)
+        for left, _, right, is_column in checks
+    ):
+        # A missing operand column means no row can satisfy the conjunction
+        # (the interpreted filter drops such rows one by one).
+        return lambda rows: []
+
+    if len(checks) == 1:
+        left, comparator, right, is_column = checks[0]
+        if is_column:
+            return lambda rows: [
+                row
+                for row in rows
+                if row[left] is not None
+                and row[right] is not None
+                and comparator(row[left], row[right])
+            ]
+        return lambda rows: [
+            row for row in rows if row[left] is not None and comparator(row[left], right)
+        ]
+
+    def keep(row: tuple) -> bool:
+        for left, comparator, right, is_column in checks:
+            left_value = row[left]
+            if left_value is None:
+                return False
+            if is_column:
+                right_value = row[right]
+                if right_value is None or not comparator(left_value, right_value):
+                    return False
+            elif not comparator(left_value, right):
+                return False
+        return True
+
+    return lambda rows: [row for row in rows if keep(row)]
+
+
+def projection_kernel(
+    schema: Sequence[str], wanted: Sequence[str]
+) -> Callable[[tuple], tuple]:
+    """A row-tuple transform selecting ``wanted`` columns (None when absent)."""
+    schema = tuple(schema)
+    indices = [schema.index(column) if column in schema else None for column in wanted]
+    if all(index is not None for index in indices):
+        if len(indices) == 1:
+            only = indices[0]
+            return lambda row: (row[only],)
+        return itemgetter(*indices)
+    return lambda row: tuple(row[i] if i is not None else None for i in indices)
+
+
+def key_kernel(schema: Sequence[str], columns: Sequence[str]) -> Callable[[list], list]:
+    """Vectorized join-key extraction: the keys of a whole batch in one pass.
+
+    Single-column keys are bare values (no tuple allocation per row); both
+    sides of a join must therefore use this kernel so representations agree.
+    Columns absent from the schema contribute ``None``, matching the
+    row-at-a-time indexer semantics.
+    """
+    schema = tuple(schema)
+    indices = [schema.index(column) if column in schema else None for column in columns]
+    if not indices:
+        # No key columns (cartesian join): every row shares the empty key.
+        return lambda rows: [()] * len(rows)
+    if len(indices) == 1:
+        only = indices[0]
+        if only is None:
+            return lambda rows: [None] * len(rows)
+        return lambda rows: [row[only] for row in rows]
+    if all(index is not None for index in indices):
+        getter = itemgetter(*indices)
+        return lambda rows: [getter(row) for row in rows]
+    return lambda rows: [
+        tuple(row[i] if i is not None else None for i in indices) for row in rows
+    ]
+
+
+# -- fusable stages ------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class FilterStage:
+    """A conjunction of residual comparisons (the compiled Filter)."""
+
+    specs: tuple[PredicateSpec, ...]
+
+    def compile(self, schema: tuple[str, ...]) -> tuple[tuple[str, ...], RowsKernel]:
+        """(output schema, rows transform) against ``schema``."""
+        return schema, predicate_kernel(self.specs, schema)
+
+    def describe(self) -> str:
+        return "filter(" + " AND ".join(spec.describe() for spec in self.specs) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class ProjectStage:
+    """Keep only ``variables``, optionally renaming (the compiled Project)."""
+
+    variables: tuple[str, ...]
+    renaming: tuple[tuple[str, str], ...] = ()
+
+    def compile(self, schema: tuple[str, ...]) -> tuple[tuple[str, ...], RowsKernel]:
+        renaming = dict(self.renaming)
+        output_schema = tuple(renaming.get(v, v) for v in self.variables)
+        transform = projection_kernel(schema, self.variables)
+        return output_schema, lambda rows: [transform(row) for row in rows]
+
+    def describe(self) -> str:
+        return f"project({', '.join(self.variables)})"
+
+
+@dataclass(frozen=True, slots=True)
+class OutputStage:
+    """Rename head variables to output column names (the compiled Output).
+
+    ``outputs`` holds one ``(name, is_variable, payload)`` triple per output
+    column: the payload is the head variable's name, or the constant value
+    for constant head terms.  Columns of the input schema that are neither
+    claimed outputs nor head variables (aggregation results, computed
+    extras) are appended unchanged — the exact semantics of the interpreted
+    ``Output`` operator.
+    """
+
+    outputs: tuple[tuple[str, bool, object], ...]
+
+    def compile(self, schema: tuple[str, ...]) -> tuple[tuple[str, ...], RowsKernel]:
+        head_variables = {payload for _, is_var, payload in self.outputs if is_var}
+        plan: list[tuple[str, bool, object]] = []  # (name, is_constant, value/pos)
+        for name, is_var, payload in self.outputs:
+            if is_var:
+                if payload in schema:
+                    plan.append((name, False, schema.index(payload)))
+                elif name in schema:
+                    plan.append((name, False, schema.index(name)))
+                else:
+                    plan.append((name, True, None))
+            else:
+                plan.append((name, True, payload))
+        taken = {name for name, _, _ in plan}
+        extras = [
+            (column, index)
+            for index, column in enumerate(schema)
+            if column not in taken and column not in head_variables
+        ]
+        output_schema = tuple(name for name, _, _ in plan) + tuple(c for c, _ in extras)
+        if not extras and all(not is_constant for _, is_constant, _ in plan):
+            indices = [position for _, _, position in plan]
+            if len(indices) == 1:
+                only = indices[0]
+                return output_schema, lambda rows: [(row[only],) for row in rows]
+            getter = itemgetter(*indices)
+            return output_schema, lambda rows: [getter(row) for row in rows]
+        extra_positions = tuple(index for _, index in extras)
+        plan_items = tuple(plan)
+        return output_schema, lambda rows: [
+            tuple(
+                value if is_constant else row[value]
+                for _, is_constant, value in plan_items
+            )
+            + tuple(row[i] for i in extra_positions)
+            for row in rows
+        ]
+
+    def describe(self) -> str:
+        return f"output({', '.join(name for name, _, _ in self.outputs)})"
+
+
+Stage = FilterStage | ProjectStage | OutputStage
+
+
+class FusedPipeline(Operator):
+    """A Filter→Project→Output(→LIMIT) chain collapsed into one operator.
+
+    Stages run in tuple order (innermost first); each is compiled against
+    the incoming batch schema exactly once and re-compiled only on schema
+    drift.  A batch makes a single pass through the compiled kernels — no
+    intermediate :class:`RowBatch` objects, no per-row dict, no repeated
+    column resolution.  The optional ``limit`` truncates the final stream
+    and abandons the upstream pipeline early, like the interpreted Output
+    operator.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        stages: Sequence[Stage] = (),
+        limit: int | None = None,
+    ) -> None:
+        self._child = child
+        self._stages = tuple(stages)
+        self._limit = limit
+
+    @property
+    def child(self) -> Operator:
+        """The operator feeding the fused chain."""
+        return self._child
+
+    @property
+    def stages(self) -> tuple[Stage, ...]:
+        """The fused stages, in execution order."""
+        return self._stages
+
+    @property
+    def limit(self) -> int | None:
+        """The row limit applied after the last stage (None = unlimited)."""
+        return self._limit
+
+    def children(self) -> Sequence[Operator]:
+        return (self._child,)
+
+    def _batches(self, context: ExecutionContext) -> Iterator[RowBatch]:
+        remaining = self._limit
+        source_schema: tuple[str, ...] | None = None
+        kernels: list[RowsKernel] = []
+        output_schema: tuple[str, ...] = ()
+        for batch in self._child.batches(context):
+            if batch.columns != source_schema:
+                source_schema = batch.columns
+                kernels = []
+                schema = source_schema
+                for stage in self._stages:
+                    schema, kernel = stage.compile(schema)
+                    kernels.append(kernel)
+                output_schema = schema
+            rows = batch.rows
+            for kernel in kernels:
+                if not rows:
+                    break
+                rows = kernel(rows)
+            if not rows:
+                continue
+            if remaining is not None and len(rows) > remaining:
+                rows = rows[:remaining]
+            context.runtime_rows_processed += len(rows)
+            yield RowBatch(output_schema, rows)
+            if remaining is not None:
+                remaining -= len(rows)
+                if remaining <= 0:
+                    return
+
+    def describe(self) -> str:
+        parts = [stage.describe() for stage in self._stages]
+        if self._limit is not None:
+            parts.append(f"limit {self._limit}")
+        return f"Fused[{' → '.join(parts) or 'passthrough'}]"
+
+
+def attach_stage(
+    root: Operator, stage: Stage | None, limit: int | None = None
+) -> FusedPipeline:
+    """Attach one compiled stage (and/or a LIMIT) above ``root``, fusing chains.
+
+    This is the fusion primitive of the physical lowering: with
+    ``REPRO_FUSED`` on, a stage attached to a :class:`FusedPipeline` that has
+    no terminal LIMIT is *absorbed* into it — consecutive
+    Filter → Project → Output (→ LIMIT) steps collapse into one operator.
+    With fusion off every stage stays its own single-stage pipeline, so the
+    compiled kernels still run but each step materializes its own batch
+    stream (the benchmark separates the two wins with exactly this switch).
+    """
+    stages = () if stage is None else (stage,)
+    if (
+        fusion_enabled()
+        and isinstance(root, FusedPipeline)
+        and root.limit is None
+    ):
+        return FusedPipeline(root.child, root.stages + stages, limit)
+    return FusedPipeline(root, stages, limit)

@@ -35,6 +35,7 @@ from repro.runtime.batch import (
     BatchBuilder,
     RowBatch,
     batches_from_bindings,
+    compiled_enabled,
     freeze_value,
 )
 from repro.runtime.values import Binding, nest_rows
@@ -148,11 +149,26 @@ class ExecutionContext:
     exchange_rows: int = 0
     exchange_states: dict[int, object] = field(default_factory=dict)
     merge_lock: threading.Lock = field(default_factory=threading.Lock)
+    operator_tallies: dict[str, list[int]] = field(default_factory=dict)
 
     def record(self, store_name: str, result: StoreResult | StoreMetrics) -> None:
         """Record a store request's metrics for the per-store breakdown."""
         metrics = result.metrics if isinstance(result, StoreResult) else result
         self.store_results.append((store_name, metrics))
+
+    def tally(self, operator: str, rows: int, batches: int = 1) -> None:
+        """Count one emitted batch (and its rows) against ``operator``.
+
+        The per-operator counters surface as
+        ``QueryResult.summary()["execution"]["operators"]`` — the batch/row
+        throughput breakdown of the runtime's own work.
+        """
+        entry = self.operator_tallies.get(operator)
+        if entry is None:
+            self.operator_tallies[operator] = [batches, rows]
+        else:
+            entry[0] += batches
+            entry[1] += rows
 
     def observe(self, fragment: str, rows: int, shard: int | None = None) -> None:
         """Record the observed cardinality of one fully-drained fragment scan.
@@ -188,6 +204,8 @@ class ExecutionContext:
             self.observations.extend(child.observations)
             self.shard_reports.extend(child.shard_reports)
             self.exchange_rows += child.exchange_rows
+            for operator, (batches, rows) in child.operator_tallies.items():
+                self.tally(operator, rows, batches)
 
     def shutdown_exchanges(self) -> None:
         """Cancel and join every Exchange worker started under this context."""
@@ -214,11 +232,33 @@ class Operator:
     """
 
     def batches(self, context: ExecutionContext) -> Iterator[RowBatch]:
-        """Evaluate the operator as a stream of row batches."""
+        """Evaluate the operator as a stream of row batches.
+
+        Every emitted batch is tallied against the operator's class name in
+        the context's per-operator counters, so
+        ``QueryResult.summary()["execution"]`` can report batch/row
+        throughput per operator without each implementation counting by hand.
+        """
         cls = type(self)
         if _owner_index(cls, "rows") < _owner_index(cls, "_batches"):
-            return batches_from_bindings(self.rows(context), context.batch_size)
-        return self._batches(context)
+            source = batches_from_bindings(self.rows(context), context.batch_size)
+        else:
+            source = self._batches(context)
+        return self._tallied(source, context, cls.__name__.lstrip("_"))
+
+    @staticmethod
+    def _tallied(
+        source: Iterator[RowBatch], context: ExecutionContext, name: str
+    ) -> Iterator[RowBatch]:
+        """Forward ``source``, counting batches/rows; close() propagates."""
+        try:
+            for batch in source:
+                context.tally(name, len(batch))
+                yield batch
+        finally:
+            close = getattr(source, "close", None)
+            if close is not None:
+                close()
 
     def _batches(self, context: ExecutionContext) -> Iterator[RowBatch]:
         """The operator's streaming implementation (override this)."""
@@ -293,6 +333,66 @@ class DelegatedRequest(Operator):
         self._replica_count = getattr(store, "replica_count", None)
 
     def _batches(self, context: ExecutionContext) -> Iterator[RowBatch]:
+        if compiled_enabled():
+            return self._batches_native(context)
+        return self._batches_interpreted(context)
+
+    def _batches_native(self, context: ExecutionContext) -> Iterator[RowBatch]:
+        """Compiled path: the store streams row-tuple batches end-to-end.
+
+        The store builds batches whose schema is exactly the requested store
+        columns, so mapping to pivot variables is a schema *rename* — in the
+        common constant-free case not a single per-row operation happens
+        here.  Residual constants are checked by column position (positions
+        resolved once); constant columns outside the output mapping are
+        fetched alongside and sliced off after the check.
+        """
+        store_columns = tuple(self._output)
+        extra = tuple(
+            column for column in self._constants if column not in self._output
+        )
+        fetch_columns = store_columns + extra
+        schema = tuple(self._output[column] for column in store_columns)
+        checks = tuple(
+            (fetch_columns.index(column), value)
+            for column, value in self._constants.items()
+        )
+        width = len(store_columns)
+        stream = self._store.execute_batches(
+            self._request, fetch_columns, context.batch_size
+        )
+        batches = iter(stream)
+        context.tracker.enter()
+        try:
+            for batch in batches:
+                rows = batch.rows
+                if checks:
+                    rows = [
+                        row
+                        for row in rows
+                        if all(row[index] == value for index, value in checks)
+                    ]
+                    if extra:
+                        rows = [row[:width] for row in rows]
+                if not rows:
+                    continue
+                context.runtime_rows_processed += len(rows)
+                yield RowBatch(schema, rows)
+        finally:
+            # Close the stream first so its metrics are finalized even when
+            # this operator is abandoned mid-stream (LIMIT early exit).
+            batches.close()
+            context.record(self._store.name, stream.metrics)
+            if self._sharded_router:
+                context.report_shards(
+                    stream.metrics.partitions_used, stream.metrics.partitions_pruned
+                )
+            context.tracker.exit()
+        if self._observable:
+            context.observe(self._fragment, stream.metrics.rows_returned, self._shard)
+
+    def _batches_interpreted(self, context: ExecutionContext) -> Iterator[RowBatch]:
+        """Fallback path (``REPRO_COMPILED=0``): dict rows repacked per row."""
         stream = self._store.execute_stream(self._request, context.batch_size)
         chunks = iter(stream)
         store_columns = tuple(self._output)
@@ -480,12 +580,21 @@ class HashJoin(Operator):
                     for row in batch.rows
                 )
 
+        # Vectorized key extraction (compiled path): both sides hash their key
+        # columns batch-at-a-time through the same kernel, so single-column
+        # keys stay bare scalars and no per-row key tuple is allocated.  The
+        # interpreted fallback keeps the per-row tuple keys.
+        use_kernels = compiled_enabled()
+        if use_kernels:
+            from repro.runtime.kernels import key_kernel
+
         join_variables = self._on
         left_schema: tuple[str, ...] | None = None
         left_key_indexer: list[int | None] = []
+        left_keys_of = None
         extra_checks: tuple[tuple[int, int], ...] = ()
         right_tail_positions: tuple[int, ...] = ()
-        build: dict[tuple, list[tuple]] | None = None
+        build: dict | None = None
         builder: BatchBuilder | None = None
 
         for left_batch in self._left.batches(context):
@@ -519,17 +628,29 @@ class HashJoin(Operator):
                     for column in left_set & set(right_schema)
                     if column not in join_variables
                 )
-                left_key_indexer = [
-                    left_schema.index(v) if v in left_set else None for v in join_variables
-                ]
+                if use_kernels:
+                    left_keys_of = key_kernel(left_schema, join_variables)
+                else:
+                    left_key_indexer = [
+                        left_schema.index(v) if v in left_set else None
+                        for v in join_variables
+                    ]
                 if build is None and join_variables:
-                    right_key_indexer = RowBatch(right_schema, []).indexer(join_variables)
                     build = {}
-                    for row in right_rows:
-                        key = tuple(
-                            row[i] if i is not None else None for i in right_key_indexer
+                    if use_kernels:
+                        right_keys = key_kernel(right_schema, join_variables)(right_rows)
+                        for key, row in zip(right_keys, right_rows):
+                            build.setdefault(key, []).append(row)
+                    else:
+                        right_key_indexer = RowBatch(right_schema, []).indexer(
+                            join_variables
                         )
-                        build.setdefault(key, []).append(row)
+                        for row in right_rows:
+                            key = tuple(
+                                row[i] if i is not None else None
+                                for i in right_key_indexer
+                            )
+                            build.setdefault(key, []).append(row)
                 builder = BatchBuilder(output_schema, context.batch_size)
 
             if not join_variables:
@@ -545,10 +666,14 @@ class HashJoin(Operator):
                             yield full
                 continue
 
-            for left_row in left_batch.rows:
-                key = tuple(
-                    left_row[i] if i is not None else None for i in left_key_indexer
-                )
+            if use_kernels:
+                probe_keys = left_keys_of(left_batch.rows)
+            else:
+                probe_keys = [
+                    tuple(row[i] if i is not None else None for i in left_key_indexer)
+                    for row in left_batch.rows
+                ]
+            for left_row, key in zip(left_batch.rows, probe_keys):
                 for right_row in build.get(key, ()):
                     if any(
                         left_row[li] != right_row[ri] for li, ri in extra_checks
@@ -608,6 +733,11 @@ class Project(Operator):
     def variables(self) -> tuple[str, ...]:
         """The projected variable names (pre-renaming)."""
         return self._variables
+
+    @property
+    def renaming(self) -> Mapping[str, str]:
+        """The output renaming (old name → new name; empty when none)."""
+        return self._renaming
 
     def children(self) -> Sequence[Operator]:
         return (self._child,)

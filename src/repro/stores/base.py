@@ -39,10 +39,12 @@ __all__ = [
     "StoreRequest",
     "StoreResult",
     "StoreResultStream",
+    "StoreBatchStream",
     "StoreMetrics",
     "Store",
     "COMPARATORS",
     "DEFAULT_STREAM_BATCH_SIZE",
+    "batch_tuples",
 ]
 
 DEFAULT_STREAM_BATCH_SIZE = 256
@@ -193,15 +195,43 @@ class StoreResult:
         return iter(self.rows)
 
 
-class StoreResultStream:
-    """A lazily batched store result.
+def batch_tuples(
+    tuples: Iterable[tuple],
+    columns: Sequence[str],
+    batch_size: int,
+    limit: int | None = None,
+):
+    """Chunk row tuples into ``RowBatch`` objects, stopping at ``limit``.
 
-    Iterating yields lists of row dicts of at most ``batch_size`` rows.  The
-    request's :attr:`metrics` are finalized once the stream is exhausted (the
-    consumer — typically a ``DelegatedRequest`` operator — records them into
-    the per-query store breakdown at that point).  Time spent inside the store
-    (issuing the request, pulling rows) is measured; time the consumer spends
-    between batches is not charged to the store.
+    The shared emit loop of every native ``_execute_batches`` implementation:
+    accumulate rows, yield a full batch at ``batch_size``, stop pulling from
+    ``tuples`` once ``limit`` rows were produced, and flush the short tail.
+    """
+    from repro.runtime.batch import RowBatch
+
+    columns = tuple(columns)
+    chunk: list[tuple] = []
+    produced = 0
+    for row in tuples:
+        chunk.append(row)
+        produced += 1
+        if limit is not None and produced >= limit:
+            break
+        if len(chunk) >= batch_size:
+            yield RowBatch(columns, chunk)
+            chunk = []
+    if chunk:
+        yield RowBatch(columns, chunk)
+
+
+class _MetricsStream:
+    """Shared metrics accounting of the lazily batched result streams.
+
+    The request's :attr:`metrics` are finalized once the stream is exhausted
+    (the consumer — typically a ``DelegatedRequest`` operator — records them
+    into the per-query store breakdown at that point).  Time spent inside the
+    store (issuing the request, pulling rows) is measured; time the consumer
+    spends between batches is not charged to the store.
 
     Finalization is **idempotent and race-free**: the running counters live on
     the instance and :meth:`_finalize` folds them into :attr:`metrics` (and the
@@ -240,6 +270,15 @@ class StoreResultStream:
         """Whether the stream's metrics have been folded into the store."""
         return self._finalized
 
+    def _claim(self) -> None:
+        """Mark the stream consumed (streams are single-shot)."""
+        with self._lock:
+            if self._consumed:
+                raise StoreError(
+                    f"result stream of {self._store.name!r} has already been consumed"
+                )
+            self._consumed = True
+
     def _finalize(self) -> None:
         """Fold the running counters into :attr:`metrics` exactly once."""
         with self._lock:
@@ -264,13 +303,20 @@ class StoreResultStream:
         """Finalize the stream early (safe to call from any thread, any number of times)."""
         self._finalize()
 
+
+class StoreResultStream(_MetricsStream):
+    """A lazily batched store result over binding dicts.
+
+    Iterating yields lists of row dicts of at most ``batch_size`` rows.  This
+    is the boundary representation of the interpreted fallback path
+    (``REPRO_COMPILED=0``) and of point probes; the compiled path uses
+    :class:`StoreBatchStream` instead.
+    """
+
+    __slots__ = ()
+
     def __iter__(self) -> Iterator[list[dict[str, object]]]:
-        with self._lock:
-            if self._consumed:
-                raise StoreError(
-                    f"result stream of {self._store.name!r} has already been consumed"
-                )
-            self._consumed = True
+        self._claim()
         try:
             started = time.perf_counter()
             latency = self._store.simulated_latency
@@ -294,6 +340,65 @@ class StoreResultStream:
             # Runs on exhaustion *and* when the consumer abandons the stream
             # early (e.g. under a LIMIT): whatever was actually pulled is
             # what the request served.
+            self._finalize()
+
+
+class StoreBatchStream(_MetricsStream):
+    """A lazily batched store result over native ``RowBatch`` objects.
+
+    Iterating yields :class:`~repro.runtime.batch.RowBatch` objects whose
+    schema is exactly the ``columns`` the consumer asked for — tuples flow
+    from the store's internal representation to the runtime without the
+    per-row dict round-trip.  Metrics accounting (including early
+    finalization on abandonment) matches :class:`StoreResultStream`.
+    """
+
+    __slots__ = ("_columns",)
+
+    def __init__(
+        self,
+        store: "Store",
+        request: StoreRequest,
+        columns: Sequence[str],
+        batch_size: int,
+    ) -> None:
+        super().__init__(store, request, batch_size)
+        self._columns = tuple(columns)
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """The schema every yielded batch carries."""
+        return self._columns
+
+    def __iter__(self) -> "Iterator":
+        self._claim()
+        batches_iter = None
+        try:
+            started = time.perf_counter()
+            latency = self._store.simulated_latency
+            if latency > 0.0:
+                time.sleep(latency)
+            batches_iter, self._base_metrics = self._store._execute_batches(
+                self._request, self._columns, self._batch_size
+            )
+            self._elapsed += time.perf_counter() - started
+            while True:
+                pulled = time.perf_counter()
+                batch = next(batches_iter, None)
+                self._elapsed += time.perf_counter() - pulled
+                if batch is None:
+                    break
+                self._returned += len(batch)
+                yield batch
+        finally:
+            # Close the store's generator *before* snapshotting the metrics:
+            # router stores fill in their partition accounting (and fold
+            # in-flight child metrics) in their own finally blocks, which
+            # must run even when the consumer abandons the stream early.
+            if batches_iter is not None:
+                close = getattr(batches_iter, "close", None)
+                if close is not None:
+                    close()
             self._finalize()
 
 
@@ -366,6 +471,28 @@ class Store:
         result = self._execute(request)
         return iter(result.rows), result.metrics
 
+    def _execute_batches(
+        self, request: StoreRequest, columns: Sequence[str], batch_size: int
+    ):
+        """Native-batch counterpart of :meth:`_execute_stream`.
+
+        Returns an iterator of :class:`~repro.runtime.batch.RowBatch` objects
+        (schema = ``columns``) plus the request's base metrics.  The metrics
+        object may keep being filled in while the iterator runs (router
+        stores only know their per-partition accounting at the end); the
+        :class:`StoreBatchStream` wrapper reads it after exhaustion.
+
+        The default adapts :meth:`_execute_stream`, so every store —
+        including fault-injection wrappers that override the dict stream —
+        serves batch requests out of the box; the concrete simulators
+        override this to build row tuples straight from their internal
+        representation, skipping the per-row dict copy entirely.
+        """
+        rows_iter, metrics = self._execute_stream(request)
+        columns = tuple(columns)
+        tuples = (tuple(row.get(column) for column in columns) for row in rows_iter)
+        return batch_tuples(tuples, columns, batch_size), metrics
+
     # -- public API -------------------------------------------------------------
     def execute(self, request: StoreRequest) -> StoreResult:
         """Execute a request, recording timing and cumulative metrics."""
@@ -387,6 +514,23 @@ class Store:
         finalized when the stream is exhausted.
         """
         return StoreResultStream(self, request, batch_size)
+
+    def execute_batches(
+        self,
+        request: StoreRequest,
+        columns: Sequence[str],
+        batch_size: int = DEFAULT_STREAM_BATCH_SIZE,
+    ) -> StoreBatchStream:
+        """Execute a request as a native :class:`~repro.runtime.batch.RowBatch` stream.
+
+        ``columns`` fixes the schema of every yielded batch (columns the rows
+        lack are filled with ``None``, matching the dict path's ``row.get``).
+        This is the compiled runtime's scan path: the store builds row tuples
+        directly, so delegated requests stream to the operators without the
+        per-row dict round-trip.  Metrics finalize like
+        :meth:`execute_stream`.
+        """
+        return StoreBatchStream(self, request, columns, batch_size)
 
     def _note_request(self, metrics: StoreMetrics) -> None:
         """Fold one served request into the cumulative counters (thread-safe)."""

@@ -15,6 +15,7 @@ from typing import Iterable, Mapping, Sequence
 from repro.errors import SchemaError, StoreError, UnsupportedOperationError
 from repro.stores.base import (
     JoinRequest,
+    batch_tuples,
     LookupRequest,
     Predicate,
     ScanRequest,
@@ -200,6 +201,46 @@ class DocumentStore(Store):
             selected = selected[: request.limit]
         rows = self._project(selected, request.projection)
         return StoreResult(rows=rows, metrics=metrics)
+
+    def _execute_batches(self, request: StoreRequest, columns, batch_size: int):
+        """Native batch scans over documents (no per-document dict copy).
+
+        Path predicates evaluate with the same ``get_path`` semantics as
+        :meth:`_execute_scan`; the emitted tuples read **top-level** keys
+        (``document.get``), exactly what the dict path's unprojected
+        ``dict(document)`` rows exposed to the runtime.
+        """
+        if not isinstance(request, ScanRequest):
+            return super()._execute_batches(request, columns, batch_size)
+        documents = self._documents(request.collection)
+        metrics = StoreMetrics()
+        candidate_positions: Sequence[int] | None = None
+        for predicate in request.predicates:
+            if predicate.op != "=":
+                continue
+            index = self._indexes.get((request.collection, predicate.column))
+            if index is None:
+                continue
+            positions = index.get(predicate.value, ())
+            metrics.index_lookups += 1
+            if candidate_positions is None or len(positions) < len(candidate_positions):
+                candidate_positions = positions
+
+        if candidate_positions is None:
+            candidates: Sequence[dict[str, object]] = documents
+        else:
+            candidates = [documents[p] for p in candidate_positions]
+        metrics.rows_scanned += len(candidates)
+
+        predicates = tuple(request.predicates)
+        wanted = tuple(columns)
+        selected = (
+            tuple(document.get(column) for column in wanted)
+            for document in candidates
+            if not predicates
+            or all(self._evaluate(document, predicate) for predicate in predicates)
+        )
+        return batch_tuples(selected, wanted, batch_size, request.limit), metrics
 
     def _execute_lookup(self, request: LookupRequest) -> StoreResult:
         # Documents are looked up by their "_id" path by convention.

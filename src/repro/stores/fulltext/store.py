@@ -15,6 +15,7 @@ from typing import Iterable, Mapping, Sequence
 from repro.errors import StoreError, UnsupportedOperationError
 from repro.stores.base import (
     JoinRequest,
+    batch_tuples,
     LookupRequest,
     ScanRequest,
     SearchRequest,
@@ -152,6 +153,27 @@ class FullTextStore(Store):
             rows.append(row)
         metrics.rows_scanned = len(scores)
         return StoreResult(rows=rows, metrics=metrics)
+
+    def _execute_batches(self, request: StoreRequest, columns, batch_size: int):
+        """Native batch scans over the stored documents.
+
+        Search requests keep the dict adapter (ranking materializes scored
+        copies anyway); plain field scans build row tuples directly, with the
+        predicate and metric semantics of :meth:`_execute_scan`.
+        """
+        if not isinstance(request, ScanRequest):
+            return super()._execute_batches(request, columns, batch_size)
+        bucket = self._bucket(request.collection)
+        metrics = StoreMetrics(rows_scanned=len(bucket.documents))
+        predicates = tuple(request.predicates)
+        wanted = tuple(columns)
+        selected = (
+            tuple(document.get(column) for column in wanted)
+            for document in bucket.documents
+            if not predicates
+            or all(predicate.evaluate(document) for predicate in predicates)
+        )
+        return batch_tuples(selected, wanted, batch_size, request.limit), metrics
 
     def _execute_scan(self, request: ScanRequest) -> StoreResult:
         bucket = self._bucket(request.collection)

@@ -15,6 +15,7 @@ from typing import Iterable, Mapping, Sequence
 from repro.errors import AccessPatternViolation, KeyNotFoundError, StoreError, UnsupportedOperationError
 from repro.stores.base import (
     JoinRequest,
+    batch_tuples,
     LookupRequest,
     ScanRequest,
     SearchRequest,
@@ -131,6 +132,41 @@ class KeyValueStore(Store):
         if isinstance(request, SearchRequest):
             raise self._reject("full-text search")
         raise UnsupportedOperationError(f"unknown request type {type(request).__name__}")
+
+    def _execute_batches(self, request: StoreRequest, columns, batch_size: int):
+        """Native batch lookups: tuples built straight from the stored entries.
+
+        Point lookups are this store's entire query surface, so they get the
+        native path (no ``_entry_to_row`` dict per hit, no projection copy);
+        scans — rare, debugging-console deployments only — fall back to the
+        dict adapter.  Column semantics match :meth:`_entry_to_row`: ``key``
+        is the lookup key (shadowing any same-named value field), hash fields
+        come from the stored mapping, and ``value`` is the scalar payload.
+        """
+        if not isinstance(request, LookupRequest):
+            return super()._execute_batches(request, columns, batch_size)
+        bucket = self._collection(request.collection)
+        metrics = StoreMetrics()
+        wanted = tuple(columns)
+        rows: list[tuple] = []
+        for key in request.keys:
+            metrics.index_lookups += 1
+            if key not in bucket:
+                continue
+            value = bucket[key]
+            if isinstance(value, Mapping):
+                rows.append(
+                    tuple(key if c == "key" else value.get(c) for c in wanted)
+                )
+            else:
+                rows.append(
+                    tuple(
+                        key if c == "key" else (value if c == "value" else None)
+                        for c in wanted
+                    )
+                )
+
+        return batch_tuples(iter(rows), wanted, batch_size), metrics
 
     def _execute_lookup(self, request: LookupRequest) -> StoreResult:
         bucket = self._collection(request.collection)

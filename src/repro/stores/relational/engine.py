@@ -13,6 +13,8 @@ from typing import Mapping, Sequence
 
 from repro.errors import SchemaError, StoreError, UnsupportedOperationError
 from repro.stores.base import (
+    COMPARATORS,
+    batch_tuples,
     JoinRequest,
     LookupRequest,
     ScanRequest,
@@ -141,6 +143,55 @@ class RelationalStore(Store):
             selected = selected[: request.limit]
         projected = self._apply_projection(selected, request.projection)
         return StoreResult(rows=projected, metrics=metrics)
+
+    def _execute_batches(
+        self, request: StoreRequest, columns: Sequence[str], batch_size: int
+    ):
+        """Native batch scans: row tuples built straight from the heap.
+
+        Only scans take the native path (they are the hot delegated-request
+        shape); lookups and store-side joins fall back to the dict adapter.
+        Index selection, predicate semantics, limit and metrics match
+        :meth:`_execute_scan` — the differential suite holds the two paths
+        bag-identical.
+        """
+        if not isinstance(request, ScanRequest):
+            return super()._execute_batches(request, columns, batch_size)
+        table = self.table(request.collection)
+        metrics = StoreMetrics()
+        candidate_positions: Sequence[int] | None = None
+        for predicate in request.predicates:
+            if predicate.op != "=":
+                continue
+            index = table.index_on(predicate.column)
+            if index is None:
+                continue
+            positions = index.lookup(predicate.value)
+            metrics.index_lookups += 1
+            if candidate_positions is None or len(positions) < len(candidate_positions):
+                candidate_positions = positions
+
+        if candidate_positions is None:
+            candidates: Sequence[dict[str, object]] = table.rows
+        else:
+            candidates = [table.row_at(p) for p in candidate_positions]
+        metrics.rows_scanned += len(candidates)
+
+        checks = tuple(
+            (predicate.column, COMPARATORS[predicate.op], predicate.value)
+            for predicate in request.predicates
+        )
+        wanted = tuple(columns)
+        selected = (
+            tuple(row.get(column) for column in wanted)
+            for row in candidates
+            if not checks
+            or all(
+                comparator(row.get(column), value)
+                for column, comparator, value in checks
+            )
+        )
+        return batch_tuples(selected, wanted, batch_size, request.limit), metrics
 
     def _execute_lookup(self, request: LookupRequest) -> StoreResult:
         table = self.table(request.collection)

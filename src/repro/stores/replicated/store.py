@@ -22,6 +22,13 @@ request, all bounded by the :class:`ReplicationPolicy`:
   stops the loser at its next cancellable wait (the same cooperative
   mechanism LIMIT cancellation uses).
 
+Batch-path note: the router deliberately keeps the default
+``execute_batches`` adapter (attempt → rows → batches) rather than forwarding
+a replica's live batch stream.  Fault atomicity *requires* materializing each
+attempt in-router before a single row escapes; the winning attempt's rows are
+then chunked into row-tuple batches once, and nothing downstream repacks
+them.
+
 Every attempt is materialized *inside* the router before any row reaches the
 consumer, so a retried or failed-over request can never leak partial rows —
 results are bag-identical to a fault-free run by construction, which is

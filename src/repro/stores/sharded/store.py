@@ -255,6 +255,66 @@ class ShardedStore(Store):
         metrics.partitions_pruned = len(self._shards) - contacted
         return StoreResult(rows=rows, metrics=metrics)
 
+    def _execute_batches(self, request: StoreRequest, columns, batch_size: int):
+        """Route a scan and forward each child's native batches untouched.
+
+        Every contacted shard serves its own :class:`StoreBatchStream`
+        (taking the child's native tuple path where it has one); the router
+        concatenates the batch streams without repacking a single row.
+        Pruning, limit handling and the contacted/pruned accounting match
+        :meth:`_execute_scan`.  Non-scan requests fall back to the dict
+        adapter (lookups route per key and stay point-shaped).
+        """
+        if not isinstance(request, ScanRequest):
+            return super()._execute_batches(request, columns, batch_size)
+        self._check_collection(request.collection)
+        targets = self._targets_for_scan(request)
+        metrics = StoreMetrics()
+        wanted = tuple(columns)
+        limit = request.limit
+        shards = self._shards
+        total = len(shards)
+
+        def fold(child_metrics: StoreMetrics) -> None:
+            metrics.rows_scanned += child_metrics.rows_scanned
+            metrics.index_lookups += child_metrics.index_lookups
+            metrics.elapsed_seconds += child_metrics.elapsed_seconds
+            metrics.replica_attempts += child_metrics.replica_attempts
+            metrics.replica_retries += child_metrics.replica_retries
+            metrics.replica_hedges += child_metrics.replica_hedges
+            metrics.replica_failovers += child_metrics.replica_failovers
+
+        def batches():
+            contacted = 0
+            produced = 0
+            try:
+                for index in targets:
+                    child = shards[index]
+                    if request.collection not in child.collections():
+                        continue
+                    contacted += 1
+                    stream = child.execute_batches(request, wanted, batch_size)
+                    try:
+                        for batch in stream:
+                            if limit is not None and produced + len(batch) >= limit:
+                                batch = batch.take(limit - produced)
+                                produced += len(batch)
+                                if batch:
+                                    yield batch
+                                return
+                            produced += len(batch)
+                            yield batch
+                    finally:
+                        stream.close()
+                        fold(stream.metrics)
+            finally:
+                # Filled in as the stream ends (normally or abandoned); the
+                # wrapper folds the metrics object only after exhaustion.
+                metrics.partitions_used = contacted
+                metrics.partitions_pruned = total - contacted
+
+        return batches(), metrics
+
     def _execute_lookup(self, request: LookupRequest) -> StoreResult:
         """Route each key to its shard.
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import os
 from collections import Counter
+from contextlib import contextmanager
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -203,6 +204,85 @@ class TestDifferentialEquivalence:
         result = est.query("SELECT uid, sku FROM purchases", dataset="shop", parallelism=4)
         assert result.max_concurrent_requests >= 2
         assert result.summary()["shards"]["contacted"] == 8
+
+
+# -- the compiled-kernel profile -----------------------------------------------------
+
+
+@contextmanager
+def _execution_mode(**overrides):
+    """Temporarily pin the runtime's execution-path env switches."""
+    saved = {key: os.environ.get(key) for key in overrides}
+    os.environ.update(overrides)
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+_EXECUTION_MODES = {
+    "interpreted": {"REPRO_COMPILED": "0", "REPRO_FUSED": "1"},
+    "compiled_unfused": {"REPRO_COMPILED": "1", "REPRO_FUSED": "0"},
+    "compiled_fused": {"REPRO_COMPILED": "1", "REPRO_FUSED": "1"},
+}
+
+
+class TestCompiledDifferential:
+    """Interpreted, compiled and compiled+fused execution agree on every query.
+
+    The switches are read at query-assembly and execution time (cached
+    rewriting plans are path-independent), so the same deployments answer
+    each generated query under all three modes — over both the plain serial
+    configuration and the 8-shard scatter-gather one — and every bag must
+    match the interpreted serial reference.
+    """
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(case=sql_queries())
+    def test_random_queries_agree_across_execution_paths(self, configurations, case):
+        sql, limit = case
+        serial_est, _ = configurations["serial"]
+        full_sql = sql if limit is None else sql[: sql.rindex(" LIMIT ")]
+        with _execution_mode(**_EXECUTION_MODES["interpreted"]):
+            full = _bag(serial_est.query(full_sql, dataset="shop", parallelism=1).rows)
+        for mode, env in _EXECUTION_MODES.items():
+            with _execution_mode(**env):
+                for name in ("serial", "sharded8"):
+                    est, parallelism = configurations[name]
+                    result = est.query(sql, dataset="shop", parallelism=parallelism)
+                    if limit is None:
+                        assert _bag(result.rows) == full, (
+                            f"{mode}/{name} diverged on {sql!r}"
+                        )
+                    else:
+                        expected_count = min(limit, sum(full.values()))
+                        assert len(result.rows) == expected_count, (
+                            f"{mode}/{name} wrong count on {sql!r}"
+                        )
+                        got = _bag(result.rows)
+                        assert all(got[key] <= full[key] for key in got), (
+                            f"{mode}/{name} returned rows outside the full answer on {sql!r}"
+                        )
+
+    def test_compiled_chaos_matches_interpreted_baseline(self, chaos_configurations):
+        """The replicated/faulted deployments stay bag-identical across paths."""
+        sql = "SELECT uid, sku, price FROM purchases WHERE price >= 100"
+        baseline_est, _ = chaos_configurations["baseline"]
+        with _execution_mode(**_EXECUTION_MODES["interpreted"]):
+            expected = _bag(baseline_est.query(sql, dataset="shop", parallelism=1).rows)
+        for mode, env in _EXECUTION_MODES.items():
+            with _execution_mode(**env):
+                for name, (est, parallelism) in chaos_configurations.items():
+                    got = _bag(est.query(sql, dataset="shop", parallelism=parallelism).rows)
+                    assert got == expected, f"{mode}/{name} diverged on {sql!r}"
 
 
 # -- the chaos profile ---------------------------------------------------------------
