@@ -1,0 +1,187 @@
+"""E14 — rewrite-at-scale: indexed, memoized PACB over thousands of fragments.
+
+The same rewriting workload runs against growing fragment catalogs (100 /
+1 000 / 10 000 identity views, one per pivot relation) in two modes and the
+per-query rewrite latencies are written to ``BENCH_e14.json``:
+
+* **indexed** (``REPRO_REWRITE_INDEX=1``, the default) — the relation-
+  signature index selects the handful of candidate views whose definitions
+  lie in the TGD-reachability closure of the query's relations, and the
+  chase dispatches constraints through the same inverted index;
+* **unindexed** (``REPRO_REWRITE_INDEX=0``) — the PR 5 seed behaviour: every
+  registered view feeds the backchase and every constraint is scanned each
+  chase round, so rewriting degrades linearly with catalog size.
+
+Each query joins ≤ 3 distinct relations, so the indexed mode does O(query)
+work regardless of catalog size.  Result memoization stays on in both modes
+(every measured query is distinct, so this isolates the index, not the
+memos).  Acceptance (full run): both modes find the same rewritings, the
+indexed mode is ≥ 10x faster at 10 000 fragments, and its latency grows
+≤ 3x from 1 000 to 10 000 fragments (near-flat; wall-clock thresholds are
+skipped under ``REPRO_BENCH_SMOKE=1``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import statistics
+import time
+from pathlib import Path
+
+from repro.core import (
+    Atom,
+    ConjunctiveQuery,
+    Rewriter,
+    ViewDefinition,
+    clear_memos,
+    memo_stats,
+)
+
+RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_e14.json"
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+CATALOG_SIZES = [50, 200] if SMOKE else [100, 1_000, 10_000]
+QUERIES_PER_SIZE = 2 if SMOKE else 3
+
+MODES = {
+    "indexed": {"REPRO_REWRITE_INDEX": "1", "REPRO_REWRITE_MEMO": "1"},
+    "unindexed": {"REPRO_REWRITE_INDEX": "0", "REPRO_REWRITE_MEMO": "1"},
+}
+
+
+def _catalog(size: int) -> list[ViewDefinition]:
+    """One identity view (fragment) per binary pivot relation."""
+    views = []
+    for i in range(size):
+        name = f"frag{i}"
+        views.append(
+            ViewDefinition(
+                name,
+                ConjunctiveQuery(name, ["?a", "?b"], [Atom(f"rel{i}", ["?a", "?b"])]),
+            )
+        )
+    return views
+
+
+def _queries(size: int) -> list[ConjunctiveQuery]:
+    """Distinct ≤3-relation chain queries over random relations of the catalog."""
+    rng = random.Random(size * 7 + 3)
+    queries = []
+    for q in range(QUERIES_PER_SIZE):
+        length = min(3, 1 + q % 3)
+        relations = rng.sample(range(size), length)
+        variables = [f"?x{i}" for i in range(length + 1)]
+        body = [
+            Atom(f"rel{relations[i]}", [variables[i], variables[i + 1]])
+            for i in range(length)
+        ]
+        queries.append(
+            ConjunctiveQuery(f"Q{size}_{q}", [variables[0], variables[length]], body)
+        )
+    return queries
+
+
+def _rewriting_shapes(outcome) -> set[frozenset[str]]:
+    """Order/renaming-insensitive fingerprint: the view-name sets used."""
+    return {
+        frozenset(atom.relation for atom in rewriting.body)
+        for rewriting in outcome.rewritings
+    }
+
+
+def _with_mode(env):
+    saved = {key: os.environ.get(key) for key in env}
+    os.environ.update(env)
+    return saved
+
+
+def _restore(saved):
+    for key, value in saved.items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+
+
+def test_e14_report(capsys):
+    report_sizes: dict[str, dict] = {}
+    for size in CATALOG_SIZES:
+        views = _catalog(size)
+        queries = _queries(size)
+        by_mode: dict[str, dict] = {}
+        shapes: dict[str, list[set[frozenset[str]]]] = {}
+        for mode, env in MODES.items():
+            saved = _with_mode(env)
+            try:
+                clear_memos()
+                rewriter = Rewriter(views=views)
+                latencies = []
+                mode_shapes = []
+                candidates_selected = []
+                for query in queries:
+                    started = time.perf_counter()
+                    outcome = rewriter.rewrite(query)
+                    latencies.append(time.perf_counter() - started)
+                    mode_shapes.append(_rewriting_shapes(outcome))
+                    selected = next(
+                        (
+                            int(note.split("selected ")[1].split(" of")[0])
+                            for note in outcome.notes
+                            if "selected" in note
+                        ),
+                        len(views),
+                    )
+                    candidates_selected.append(selected)
+                shapes[mode] = mode_shapes
+                by_mode[mode] = {
+                    "mean_seconds": statistics.mean(latencies),
+                    "median_seconds": statistics.median(latencies),
+                    "latencies_seconds": latencies,
+                    "candidates_selected": candidates_selected,
+                    "memo": memo_stats(),
+                }
+            finally:
+                _restore(saved)
+        # Differential guarantee: both modes find the same rewritings.
+        assert shapes["indexed"] == shapes["unindexed"], f"divergence at {size} fragments"
+        by_mode["speedup"] = (
+            by_mode["unindexed"]["mean_seconds"] / by_mode["indexed"]["mean_seconds"]
+        )
+        report_sizes[str(size)] = by_mode
+
+    largest = str(CATALOG_SIZES[-1])
+    growth = (
+        report_sizes[largest]["indexed"]["mean_seconds"]
+        / report_sizes[str(CATALOG_SIZES[-2])]["indexed"]["mean_seconds"]
+    )
+    report = {
+        "benchmark": "e14_rewrite_scale",
+        "smoke": SMOKE,
+        "queries_per_size": QUERIES_PER_SIZE,
+        "catalog_sizes": CATALOG_SIZES,
+        "sizes": report_sizes,
+        "indexed_growth_last_step": growth,
+    }
+    RESULT_FILE.write_text(json.dumps(report, indent=2) + "\n")
+
+    with capsys.disabled():
+        print("\n[E14] rewrite latency vs catalog size (indexed vs unindexed)")
+        for size in CATALOG_SIZES:
+            entry = report_sizes[str(size)]
+            print(
+                f"  {size:6d} fragments  "
+                f"{entry['indexed']['mean_seconds'] * 1e3:9.2f} ms indexed  "
+                f"{entry['unindexed']['mean_seconds'] * 1e3:9.2f} ms unindexed  "
+                f"({entry['speedup']:.1f}x)"
+            )
+        print(
+            f"  indexed growth {CATALOG_SIZES[-2]} → {CATALOG_SIZES[-1]}: {growth:.2f}x"
+        )
+        print(f"  trajectory written to  {RESULT_FILE.name}")
+
+    if not SMOKE:
+        # Acceptance: ≥ 10x at the largest catalog, near-flat indexed growth.
+        speedup = report_sizes[largest]["speedup"]
+        assert speedup >= 10.0, f"indexed speedup {speedup:.1f}x below 10x at {largest}"
+        assert growth <= 3.0, f"indexed latency grew {growth:.2f}x from 1k to 10k"

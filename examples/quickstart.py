@@ -113,7 +113,13 @@ def tuning_parallelism() -> None:
       ~2-3x slower on scan-heavy queries; ``REPRO_FUSED=0`` keeps the
       kernels but disables operator fusion).  The active path and the
       per-operator throughput counters show up in
-      ``result.summary()["execution"]``.
+      ``result.summary()["execution"]``;
+    * ``REPRO_REWRITE_INDEX=0`` — disable the relation-signature index
+      that narrows rewriting to the views reachable from the query, and
+      fall back to scanning every registered fragment (identical
+      rewritings, but rewrite latency grows with catalog size — see
+      ``BENCH_e14.json``; ``REPRO_REWRITE_MEMO=0`` likewise disables the
+      chase/containment memos).
     """
     est = Estocada(parallelism=1)  # serial by default; overridden per query
     est.register_store("pg", RelationalStore("pg", latency=0.02))

@@ -47,15 +47,55 @@ class StorageDescriptorManager:
         self._datasets: dict[str, DatasetInfo] = {}
         self._fragments: dict[str, StorageDescriptor] = {}
         self._version = 0
+        self._epoch_clock = 0
+        self._relation_epochs: dict[str, int] = {}
+        self._structural_epoch = 0
 
     @property
     def version(self) -> int:
         """Monotonic counter bumped by every catalog mutation.
 
-        Cached artifacts derived from the catalog (rewritings, plans) key on
-        this: any registration/drop makes previously computed keys stale.
+        Kept for backwards compatibility and coarse change detection; cached
+        plans key on the finer-grained per-relation epochs instead (see
+        :meth:`epoch_signature`), so registering fragment #5000 does not
+        invalidate plans that never touch its relations.
         """
         return self._version
+
+    # -- epochs -------------------------------------------------------------------------
+    @property
+    def structural_epoch(self) -> int:
+        """Epoch bumped by schema-level changes (dataset registration).
+
+        Dataset constraints can affect the rewriting of *any* query, so plans
+        must additionally key on this coarse epoch.
+        """
+        return self._structural_epoch
+
+    def relation_epoch(self, relation: str) -> int:
+        """Epoch of one relation signature (0 while never mutated)."""
+        return self._relation_epochs.get(relation, 0)
+
+    def epoch_signature(self, relations: Iterable[str]) -> tuple[tuple[str, int], ...]:
+        """Sorted ``(relation, epoch)`` pairs for a set of relations.
+
+        A cached plan whose key embeds this signature over the relations it
+        can possibly touch stays valid exactly until one of those relations'
+        fragments changes.
+        """
+        return tuple(
+            (relation, self._relation_epochs.get(relation, 0))
+            for relation in sorted(set(relations))
+        )
+
+    def fragment_relations(self, descriptor: StorageDescriptor) -> frozenset[str]:
+        """The relation signature of a fragment: its body relations + its name."""
+        return descriptor.view.definition.relations() | {descriptor.fragment_name}
+
+    def _bump_relations(self, relations: Iterable[str]) -> None:
+        self._epoch_clock += 1
+        for relation in relations:
+            self._relation_epochs[relation] = self._epoch_clock
 
     # -- stores ---------------------------------------------------------------------
     def register_store(self, name: str, store: Store) -> None:
@@ -109,6 +149,7 @@ class StorageDescriptorManager:
         )
         self._datasets[name] = info
         self._version += 1
+        self._structural_epoch += 1
         return info
 
     def dataset(self, name: str) -> DatasetInfo:
@@ -141,6 +182,7 @@ class StorageDescriptorManager:
             )
         self._fragments[descriptor.fragment_name] = descriptor
         self._version += 1
+        self._bump_relations(self.fragment_relations(descriptor))
 
     def drop_fragment(self, name: str) -> StorageDescriptor:
         """Remove a fragment descriptor and return it."""
@@ -148,6 +190,7 @@ class StorageDescriptorManager:
         if descriptor is None:
             raise UnknownFragmentError(f"fragment {name!r} is not registered")
         self._version += 1
+        self._bump_relations(self.fragment_relations(descriptor))
         return descriptor
 
     def fragment(self, name: str) -> StorageDescriptor:
@@ -179,18 +222,22 @@ class StorageDescriptorManager:
         for descriptor in self._fragments.values():
             if wanted is not None and descriptor.dataset not in wanted:
                 continue
-            view = descriptor.view
-            pattern = descriptor.access_pattern()
-            if pattern is not None and view.access_pattern is None:
-                view = ViewDefinition(
-                    name=view.name,
-                    definition=view.definition,
-                    access_pattern=pattern,
-                    store=descriptor.store,
-                    column_names=view.column_names,
-                )
-            views.append(view)
+            views.append(self.resolved_view(descriptor))
         return views
+
+    def resolved_view(self, descriptor: StorageDescriptor) -> ViewDefinition:
+        """One fragment's view definition with its access pattern resolved."""
+        view = descriptor.view
+        pattern = descriptor.access_pattern()
+        if pattern is not None and view.access_pattern is None:
+            view = ViewDefinition(
+                name=view.name,
+                definition=view.definition,
+                access_pattern=pattern,
+                store=descriptor.store,
+                column_names=view.column_names,
+            )
+        return view
 
     def access_pattern_registry(self) -> AccessPatternRegistry:
         """Binding patterns of every registered fragment."""

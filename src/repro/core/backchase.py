@@ -22,7 +22,7 @@ from repro.core.containment import is_equivalent_under_constraints
 from repro.core.query import ConjunctiveQuery
 from repro.core.terms import Atom, Variable
 from repro.core.universal_plan import UniversalPlan, chase_query, thaw_atoms, thaw_term
-from repro.core.views import ViewDefinition, views_constraint_set
+from repro.core.views import ViewDefinition, combined_constraint_set
 from repro.errors import RewritingError
 
 __all__ = ["BackchaseStatistics", "classical_backchase", "candidate_to_query"]
@@ -36,6 +36,7 @@ class BackchaseStatistics:
     equivalence_checks: int = 0
     rewritings_found: int = 0
     view_atoms_in_plan: int = 0
+    candidates_pruned_by_cost: int = 0
     notes: list[str] = field(default_factory=list)
 
 
@@ -70,6 +71,7 @@ def classical_backchase(
     config: ChaseConfig | None = None,
     max_rewritings: int | None = None,
     max_candidate_size: int | None = None,
+    cost_bound: "object | None" = None,
 ) -> tuple[list[ConjunctiveQuery], BackchaseStatistics]:
     """Find view-based rewritings of ``query`` by exhaustive backchase.
 
@@ -94,9 +96,14 @@ def classical_backchase(
         raise RewritingError("classical backchase needs at least one view")
     statistics = BackchaseStatistics()
 
-    schema = ConstraintSet(schema_constraints or ())
-    forward = views_constraint_set(views, direction="forward").union(schema)
-    all_constraints = views_constraint_set(views, direction="both").union(schema)
+    # Preserve the caller's ConstraintSet identity (memo tokens, see pacb).
+    if isinstance(schema_constraints, ConstraintSet):
+        schema = schema_constraints
+    else:
+        schema = ConstraintSet(schema_constraints or ())
+    views = tuple(views)
+    forward = combined_constraint_set(views, schema, direction="forward")
+    all_constraints = combined_constraint_set(views, schema, direction="both")
 
     plan = chase_query(query, forward, config=config)
     view_names = {view.name for view in views}
@@ -108,6 +115,7 @@ def classical_backchase(
     limit = max_candidate_size or len(view_facts)
     rewritings: list[ConjunctiveQuery] = []
     found_sets: list[frozenset[Atom]] = []
+    best_estimate: float | None = None
 
     for size in range(1, limit + 1):
         for combination in itertools.combinations(view_facts, size):
@@ -115,6 +123,14 @@ def classical_backchase(
             # Skip supersets of already-found rewritings: they cannot be minimal.
             if any(found <= combination_set for found in found_sets):
                 continue
+            if cost_bound is not None and best_estimate is not None:
+                # Admissible pruning, as in pacb_rewrite: a candidate whose
+                # cost floor already exceeds the best accepted estimate cannot
+                # become the cheapest rewriting.
+                floor = cost_bound.lower_bound(a.relation for a in combination)
+                if floor >= best_estimate:
+                    statistics.candidates_pruned_by_cost += 1
+                    continue
             statistics.candidates_considered += 1
             candidate = candidate_to_query(query, combination, plan)
             if candidate is None:
@@ -124,6 +140,10 @@ def classical_backchase(
                 rewritings.append(candidate)
                 found_sets.append(combination_set)
                 statistics.rewritings_found += 1
+                if cost_bound is not None:
+                    estimate = cost_bound.estimate(a.relation for a in combination)
+                    if best_estimate is None or estimate < best_estimate:
+                        best_estimate = estimate
                 if max_rewritings is not None and len(rewritings) >= max_rewritings:
                     return rewritings, statistics
     return rewritings, statistics

@@ -82,6 +82,10 @@ class AccessPatternRegistry:
         """Register (or replace) the pattern for a relation."""
         self._patterns[pattern.relation] = pattern
 
+    def unregister(self, relation: str) -> AccessPattern | None:
+        """Drop the pattern of ``relation`` (no-op when unregistered)."""
+        return self._patterns.pop(relation, None)
+
     def get(self, relation: str, arity: int | None = None) -> AccessPattern:
         """The pattern of ``relation`` (an all-output default when unregistered)."""
         pattern = self._patterns.get(relation)

@@ -18,6 +18,7 @@ fragment layout and offers the indexing used by the chase.
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterable, Iterator, Sequence
 
 from repro.core.terms import Atom, Variable
@@ -161,6 +162,12 @@ class EGD:
 
 Constraint = TGD | EGD
 
+# Globally monotonic tokens identifying constraint-set states.  Memo caches
+# (see :mod:`repro.core.memo`) key entries on the token instead of the set's
+# contents: a mutated or freshly built set gets a token that has never been
+# seen before, so stale memo entries can never alias it.
+_mutation_tokens = itertools.count()
+
 
 class ConstraintSet:
     """An ordered, indexed collection of TGDs and EGDs.
@@ -170,13 +177,20 @@ class ConstraintSet:
     potentially triggered by newly derived facts are re-examined.
     """
 
-    __slots__ = ("_constraints", "_by_body_relation")
+    __slots__ = ("_constraints", "_by_body_relation", "_body_relations", "_token")
 
     def __init__(self, constraints: Iterable[Constraint] = ()) -> None:
         self._constraints: list[Constraint] = []
-        self._by_body_relation: dict[str, list[Constraint]] = {}
+        self._by_body_relation: dict[str, list[tuple[int, Constraint]]] = {}
+        self._body_relations: list[frozenset[str]] = []
+        self._token: int = next(_mutation_tokens)
         for constraint in constraints:
             self.add(constraint)
+
+    @property
+    def token(self) -> int:
+        """Monotonic token identifying this set's current state (see module note)."""
+        return self._token
 
     def add(self, constraint: Constraint) -> None:
         """Add a constraint (duplicates are silently ignored)."""
@@ -184,9 +198,13 @@ class ConstraintSet:
             raise PivotModelError(f"not a constraint: {constraint!r}")
         if constraint in self._constraints:
             return
+        sequence = len(self._constraints)
         self._constraints.append(constraint)
-        for atom in constraint.body:
-            self._by_body_relation.setdefault(atom.relation, []).append(constraint)
+        body_relations = frozenset(atom.relation for atom in constraint.body)
+        self._body_relations.append(body_relations)
+        for relation in body_relations:
+            self._by_body_relation.setdefault(relation, []).append((sequence, constraint))
+        self._token = next(_mutation_tokens)
 
     def extend(self, constraints: Iterable[Constraint]) -> None:
         """Add several constraints."""
@@ -210,7 +228,36 @@ class ConstraintSet:
 
     def triggered_by(self, relation: str) -> tuple[Constraint, ...]:
         """Constraints whose body mentions ``relation``."""
-        return tuple(self._by_body_relation.get(relation, ()))
+        return tuple(c for _, c in self._by_body_relation.get(relation, ()))
+
+    def relevant_to(self, relations: Iterable[str]) -> tuple[Constraint, ...]:
+        """Constraints whose body relations all occur in ``relations``.
+
+        This is the inverted-index dispatch used by the chase: a constraint
+        whose body mentions a relation absent from the instance can have no
+        trigger, so scanning it is wasted work.  Insertion order is preserved,
+        which keeps chase firing order (and hence labelled-null numbering)
+        identical to a full scan over the same instance.
+        """
+        present = relations if isinstance(relations, (set, frozenset)) else set(relations)
+        picked: dict[int, Constraint] = {}
+        seen: set[int] = set()
+        for relation in present:
+            for sequence, constraint in self._by_body_relation.get(relation, ()):
+                if sequence in seen:
+                    continue
+                seen.add(sequence)
+                if self._body_relations[sequence] <= present:
+                    picked[sequence] = constraint
+        return tuple(picked[sequence] for sequence in sorted(picked))
+
+    def constraints_with_body_relations(self) -> Iterator[tuple[Constraint, frozenset[str]]]:
+        """Pairs ``(constraint, body relation names)`` in insertion order.
+
+        Lets the chase skip constraints whose body mentions an absent relation
+        without recomputing the relation sets every round.
+        """
+        return zip(self._constraints, self._body_relations)
 
     def relations(self) -> frozenset[str]:
         """All relation names mentioned anywhere in the constraint set."""

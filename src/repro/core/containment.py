@@ -15,11 +15,12 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.core.chase import ChaseConfig, ChaseFailure, chase
+from repro.core.chase import ChaseConfig, ChaseFailure, ChaseResult, chase
 from repro.core.constraints import Constraint, ConstraintSet
 from repro.core.homomorphism import InstanceIndex, find_homomorphism
+from repro.core.memo import LRUMemo, memo_enabled
 from repro.core.query import ConjunctiveQuery
-from repro.core.terms import Constant, Substitution, Term
+from repro.core.terms import Constant, Substitution, Term, Variable
 from repro.errors import PivotModelError
 
 __all__ = [
@@ -27,7 +28,64 @@ __all__ = [
     "is_equivalent",
     "is_contained_under_constraints",
     "is_equivalent_under_constraints",
+    "canonical_query_signature",
 ]
+
+
+def canonical_query_signature(query: ConjunctiveQuery) -> tuple:
+    """An alpha-invariant, hashable fingerprint of a conjunctive query.
+
+    Variables are renamed to their first-occurrence index (head first, then
+    body in atom order), so two queries differing only in variable names get
+    the same signature.  Containment and equivalence are invariant under such
+    renaming, which makes the signature a sound memo key component.
+    """
+    numbering: dict[Variable, int] = {}
+
+    def canon(term: Term) -> tuple:
+        if isinstance(term, Variable):
+            number = numbering.get(term)
+            if number is None:
+                number = numbering[term] = len(numbering)
+            return ("v", number)
+        return ("c", term)
+
+    head = tuple(canon(t) for t in query.head_terms)
+    body = tuple(
+        (atom.relation, tuple(canon(t) for t in atom.terms)) for atom in query.body
+    )
+    return (query.head_relation, head, body)
+
+
+# The backchase checks dozens-to-thousands of candidates against the same
+# query under the same constraint set; both the canonical-instance chase and
+# the full containment verdicts repeat heavily.  Keys use the constraint set's
+# mutation token (see repro.core.constraints), never its contents.
+_chase_memo = LRUMemo("containment_chase", max_entries=2048)
+_containment_memo = LRUMemo("containment_verdict", max_entries=8192)
+_CHASE_FAILED = object()
+
+
+def _chased(
+    frozen_facts: frozenset,
+    constraints: ConstraintSet,
+    config: ChaseConfig | None,
+) -> ChaseResult | object:
+    """Chase a canonical instance, memoized; returns ``_CHASE_FAILED`` on EGD failure."""
+    if not memo_enabled():
+        try:
+            return chase(frozen_facts, constraints, config=config)
+        except ChaseFailure:
+            return _CHASE_FAILED
+    key = (frozen_facts, constraints.token, config)
+    cached = _chase_memo.get(key)
+    if cached is _chase_memo.missing:
+        try:
+            cached = chase(frozen_facts, constraints, config=config)
+        except ChaseFailure:
+            cached = _CHASE_FAILED
+        _chase_memo.put(key, cached)
+    return cached
 
 
 def _head_requirement(
@@ -77,12 +135,31 @@ def is_contained_under_constraints(
     If the chase fails (an EGD equates two distinct constants), the canonical
     instance is inconsistent with the constraints, hence the containment holds
     vacuously and True is returned.
+
+    Verdicts are memoized on the alpha-invariant signatures of both queries
+    plus the constraint set's mutation token; the chase of the canonical
+    instance is memoized separately (it is shared by every containment check
+    against the same contained query).
     """
+    if not isinstance(constraints, ConstraintSet):
+        constraints = ConstraintSet(constraints)
+    verdict_key = None
+    if memo_enabled():
+        verdict_key = (
+            canonical_query_signature(contained),
+            canonical_query_signature(container),
+            constraints.token,
+            config,
+        )
+        cached = _containment_memo.get(verdict_key)
+        if cached is not _containment_memo.missing:
+            return cached  # type: ignore[return-value]
     frozen_facts, freezing = contained.canonical_instance()
     frozen_head = tuple(freezing.resolve(t) for t in contained.head_terms)
-    try:
-        result = chase(frozen_facts, constraints, config=config)
-    except ChaseFailure:
+    result = _chased(frozen_facts, constraints, config)
+    if result is _CHASE_FAILED:
+        if verdict_key is not None:
+            _containment_memo.put(verdict_key, True)
         return True
     # EGD firings may have merged labelled nulls appearing in the frozen head.
     resolved_head = tuple(_resolve_equalities(t, result.equalities) for t in frozen_head)
@@ -90,7 +167,10 @@ def is_contained_under_constraints(
     homomorphism = find_homomorphism(
         container.body, index, requirement=_head_requirement(container, resolved_head)
     )
-    return homomorphism is not None
+    verdict = homomorphism is not None
+    if verdict_key is not None:
+        _containment_memo.put(verdict_key, verdict)
+    return verdict
 
 
 def _resolve_equalities(term: Term, equalities: dict[Constant, Term]) -> Term:

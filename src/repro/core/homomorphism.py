@@ -22,11 +22,17 @@ The implementation is a backtracking search with two standard optimisations:
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Sequence
+import itertools
+from typing import Callable, Iterable, Iterator, KeysView, Sequence
 
+from repro.core.memo import LRUMemo, memo_enabled
 from repro.core.terms import Atom, Constant, Substitution, Term, Variable
 
 __all__ = ["InstanceIndex", "find_homomorphism", "iterate_homomorphisms", "count_homomorphisms"]
+
+# Tokens distinguishing index instances for memo keys: two indexes with equal
+# content never share a fingerprint, so cached homomorphisms cannot go stale.
+_index_tokens = itertools.count()
 
 
 class InstanceIndex:
@@ -36,12 +42,14 @@ class InstanceIndex:
     them and the index keeps lookup structures in sync.
     """
 
-    __slots__ = ("_facts", "_by_relation", "_by_rel_pos_value")
+    __slots__ = ("_facts", "_by_relation", "_by_rel_pos_value", "_token", "_mutations")
 
     def __init__(self, facts: Iterable[Atom] = ()) -> None:
         self._facts: set[Atom] = set()
         self._by_relation: dict[str, list[Atom]] = {}
         self._by_rel_pos_value: dict[tuple[str, int, object], list[Atom]] = {}
+        self._token: int = next(_index_tokens)
+        self._mutations: int = 0
         for fact in facts:
             self.add(fact)
 
@@ -51,6 +59,7 @@ class InstanceIndex:
         if fact in self._facts:
             return False
         self._facts.add(fact)
+        self._mutations += 1
         self._by_relation.setdefault(fact.relation, []).append(fact)
         for position, term in enumerate(fact.terms):
             if isinstance(term, Constant):
@@ -75,6 +84,15 @@ class InstanceIndex:
     def facts(self) -> frozenset[Atom]:
         """All facts as a frozen set."""
         return frozenset(self._facts)
+
+    def relations(self) -> KeysView[str]:
+        """Relation names present in the instance (a live set-like view)."""
+        return self._by_relation.keys()
+
+    @property
+    def fingerprint(self) -> tuple[int, int]:
+        """Identity + mutation count: a stable memo key for this index state."""
+        return (self._token, self._mutations)
 
     def by_relation(self, relation: str) -> Sequence[Atom]:
         """Facts over ``relation``."""
@@ -136,21 +154,26 @@ def _order_pattern(pattern: Sequence[Atom], index: InstanceIndex) -> list[Atom]:
     A greedy ordering: repeatedly pick the atom with the fewest candidate
     facts, preferring atoms that share variables with already-placed atoms.
     """
-    remaining = list(pattern)
+    empty_substitution = Substitution.empty()
+    # Fanout and variable sets do not change while ordering: compute them once
+    # instead of once per (round, atom) pair as the greedy loop progresses.
+    remaining = [
+        (atom, len(index.candidates(atom, empty_substitution)), atom.variable_set())
+        for atom in pattern
+    ]
     ordered: list[Atom] = []
     bound: set[Variable] = set()
-    empty_substitution = Substitution.empty()
     while remaining:
-        def score(atom: Atom) -> tuple[int, int]:
-            shared = len(atom.variable_set() & bound)
-            fanout = len(index.candidates(atom, empty_substitution))
-            # Fewer candidates first; among equals, more shared variables first.
-            return (fanout, -shared)
-
-        best = min(remaining, key=score)
-        remaining.remove(best)
-        ordered.append(best)
-        bound.update(best.variable_set())
+        # Fewer candidates first; among equals, more shared variables first.
+        # min() keeps the first minimal entry, preserving the deterministic
+        # tie-break of the original (scan-in-pattern-order) implementation.
+        best_position = min(
+            range(len(remaining)),
+            key=lambda i: (remaining[i][1], -len(remaining[i][2] & bound)),
+        )
+        atom, _, variables = remaining.pop(best_position)
+        ordered.append(atom)
+        bound.update(variables)
     return ordered
 
 
@@ -204,6 +227,10 @@ def iterate_homomorphisms(
     yield from search(0, seed or Substitution.empty())
 
 
+_NO_HOMOMORPHISM = object()
+_find_memo = LRUMemo("find_homomorphism", max_entries=8192)
+
+
 def find_homomorphism(
     pattern: Sequence[Atom],
     instance: InstanceIndex | Iterable[Atom],
@@ -214,10 +241,32 @@ def find_homomorphism(
 
     ``requirement`` optionally filters homomorphisms (e.g. "head variables must
     map to the expected values" for containment checks).
+
+    Requirement-free searches against an :class:`InstanceIndex` are memoized
+    on (pattern, index fingerprint, seed): the chase re-checks the same TGD
+    head against the same instance state many times per round.
     """
+    key = None
+    if (
+        requirement is None
+        and isinstance(instance, InstanceIndex)
+        and memo_enabled()
+    ):
+        key = (
+            tuple(pattern),
+            instance.fingerprint,
+            None if seed is None else frozenset(seed.items()),
+        )
+        cached = _find_memo.get(key)
+        if cached is not _find_memo.missing:
+            return None if cached is _NO_HOMOMORPHISM else cached  # type: ignore[return-value]
     for homomorphism in iterate_homomorphisms(pattern, instance, seed=seed):
         if requirement is None or requirement(homomorphism):
+            if key is not None:
+                _find_memo.put(key, homomorphism)
             return homomorphism
+    if key is not None:
+        _find_memo.put(key, _NO_HOMOMORPHISM)
     return None
 
 

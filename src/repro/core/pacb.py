@@ -40,7 +40,7 @@ from repro.core.query import ConjunctiveQuery
 from repro.core.terms import Atom, Constant, Substitution, Term
 from repro.core.universal_plan import UniversalPlan, chase_query
 from repro.core.backchase import candidate_to_query
-from repro.core.views import ViewDefinition, views_constraint_set
+from repro.core.views import ViewDefinition, combined_constraint_set
 from repro.errors import RewritingError
 
 __all__ = ["PACBStatistics", "PACBResult", "pacb_rewrite"]
@@ -57,6 +57,7 @@ class PACBStatistics:
     monomials_examined: int = 0
     equivalence_checks: int = 0
     rewritings_found: int = 0
+    candidates_pruned_by_cost: int = 0
     notes: list[str] = field(default_factory=list)
 
 
@@ -87,6 +88,7 @@ def pacb_rewrite(
     config: ChaseConfig | None = None,
     verify: bool = True,
     max_rewritings: int | None = None,
+    cost_bound: "object | None" = None,
 ) -> PACBResult:
     """Compute the view-based rewritings of ``query`` with the PACB algorithm.
 
@@ -105,14 +107,26 @@ def pacb_rewrite(
         constraint set before being returned.
     max_rewritings:
         Optional cap on the number of rewritings returned.
+    cost_bound:
+        Optional :class:`repro.cost.cost_model.RewritingCostBound`.  When
+        given, a candidate whose *admissible lower bound* is already no better
+        than the cheapest accepted rewriting's estimate is discarded before
+        the (expensive) equivalence verification.
     """
     if not views:
         raise RewritingError("PACB needs at least one view")
     statistics = PACBStatistics()
-    schema = ConstraintSet(schema_constraints or ())
+    # Keep the caller's ConstraintSet identity when there is one: the chase
+    # and containment memos key on its mutation token, so copying it here
+    # would orphan every cross-call memo entry.
+    if isinstance(schema_constraints, ConstraintSet):
+        schema = schema_constraints
+    else:
+        schema = ConstraintSet(schema_constraints or ())
+    views = tuple(views)
 
     # Step 1: universal plan (forward chase).
-    forward = views_constraint_set(views, direction="forward").union(schema)
+    forward = combined_constraint_set(views, schema, direction="forward")
     plan = chase_query(query, forward, config=config)
     view_names = {view.name for view in views}
     view_facts = plan.view_facts(view_names)
@@ -128,7 +142,7 @@ def pacb_rewrite(
     identifier_to_fact = dict(enumerate(view_facts))
 
     # Step 3: provenance chase with the backward constraints.
-    backward = views_constraint_set(views, direction="backward").union(schema)
+    backward = combined_constraint_set(views, schema, direction="backward")
     chased = provenance_chase(annotated, backward, config=config)
     statistics.provenance_chase_steps = chased.steps
 
@@ -163,9 +177,10 @@ def pacb_rewrite(
         return PACBResult(query, [], statistics, plan)
 
     # Step 5/6: one candidate rewriting per minimal monomial.
-    all_constraints = views_constraint_set(views, direction="both").union(schema)
+    all_constraints = combined_constraint_set(views, schema, direction="both")
     rewritings: list[ConjunctiveQuery] = []
     seen: set[frozenset[Atom]] = set()
+    best_estimate: float | None = None
     for monomial in sorted(combined.minimal_monomials(), key=lambda m: (len(m), sorted(m))):
         statistics.monomials_examined += 1
         facts = tuple(identifier_to_fact[i] for i in sorted(monomial))
@@ -173,6 +188,14 @@ def pacb_rewrite(
         if key in seen:
             continue
         seen.add(key)
+        if cost_bound is not None and best_estimate is not None:
+            # Admissible pruning: the lower bound can only underestimate the
+            # candidate's true cost, so discarding it cannot lose a rewriting
+            # cheaper than the best one already accepted.
+            floor = cost_bound.lower_bound(fact.relation for fact in facts)
+            if floor >= best_estimate:
+                statistics.candidates_pruned_by_cost += 1
+                continue
         candidate = candidate_to_query(query, facts, plan)
         if candidate is None:
             statistics.notes.append("candidate dropped: head variables not exposed by views")
@@ -184,6 +207,10 @@ def pacb_rewrite(
                 continue
         rewritings.append(candidate)
         statistics.rewritings_found += 1
+        if cost_bound is not None:
+            estimate = cost_bound.estimate(fact.relation for fact in facts)
+            if best_estimate is None or estimate < best_estimate:
+                best_estimate = estimate
         if max_rewritings is not None and len(rewritings) >= max_rewritings:
             break
 

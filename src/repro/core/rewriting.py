@@ -25,6 +25,7 @@ from repro.core.backchase import BackchaseStatistics, classical_backchase
 from repro.core.binding_patterns import AccessPatternRegistry, is_feasible
 from repro.core.chase import ChaseConfig
 from repro.core.constraints import Constraint, ConstraintSet
+from repro.core.index import RewriteIndex, index_enabled
 from repro.core.minimization import minimize
 from repro.core.pacb import PACBStatistics, pacb_rewrite
 from repro.core.query import ConjunctiveQuery
@@ -73,6 +74,10 @@ class Rewriter:
         ``"pacb"`` (default) or ``"classical"``.
     chase_config:
         Budget configuration forwarded to the chase.
+    cost_bound_factory:
+        Optional zero-argument callable returning a
+        :class:`repro.cost.cost_model.RewritingCostBound` (or None); called
+        once per :meth:`rewrite` so pruning always sees fresh statistics.
     """
 
     def __init__(
@@ -82,6 +87,7 @@ class Rewriter:
         access_patterns: AccessPatternRegistry | None = None,
         algorithm: str = "pacb",
         chase_config: ChaseConfig | None = None,
+        cost_bound_factory: "object | None" = None,
     ) -> None:
         if algorithm not in {"pacb", "classical"}:
             raise RewritingError(f"unknown rewriting algorithm {algorithm!r}")
@@ -93,6 +99,8 @@ class Rewriter:
                 self._access_patterns.register(view.access_pattern)
         self._algorithm = algorithm
         self._chase_config = chase_config or ChaseConfig()
+        self._cost_bound_factory = cost_bound_factory
+        self._index = RewriteIndex(self._views, self._constraints)
 
     # -- configuration -------------------------------------------------------
     @property
@@ -115,15 +123,34 @@ class Rewriter:
         """The configured rewriting algorithm name."""
         return self._algorithm
 
+    @property
+    def index(self) -> RewriteIndex:
+        """The relation-signature index used for candidate view selection."""
+        return self._index
+
     def add_view(self, view: ViewDefinition) -> None:
         """Register an additional fragment definition."""
         self._views.append(view)
         if view.access_pattern is not None:
             self._access_patterns.register(view.access_pattern)
+        self._index.add_view(view)
+
+    def remove_view(self, name: str) -> bool:
+        """Drop a fragment definition by name; returns False when unknown."""
+        for position, view in enumerate(self._views):
+            if view.name == name:
+                del self._views[position]
+                if view.access_pattern is not None:
+                    self._access_patterns.unregister(name)
+                self._index.remove_view(name)
+                return True
+        return False
 
     def add_constraints(self, constraints: Iterable[Constraint]) -> None:
         """Register additional schema constraints."""
-        self._constraints.extend(constraints)
+        added = [c for c in constraints if c not in self._constraints]
+        self._constraints.extend(added)
+        self._index.add_constraints(added)
 
     # -- rewriting -------------------------------------------------------------
     def rewrite(
@@ -150,24 +177,55 @@ class Rewriter:
         if not self._views:
             raise RewritingError("no views registered; cannot rewrite")
         started = time.perf_counter()
+        notes: list[str] = []
+        if index_enabled():
+            # Candidate selection: only views whose definition body lies in
+            # the TGD-reachability closure of the query's relations can ever
+            # contribute an atom to the universal plan.  This is what keeps
+            # rewriting sub-linear in catalog size.
+            candidates = self._index.candidate_views(query.relations())
+            if len(candidates) < len(self._views):
+                notes.append(
+                    f"signature index selected {len(candidates)} of "
+                    f"{len(self._views)} views"
+                )
+        else:
+            candidates = self._views
+        if not candidates:
+            elapsed = time.perf_counter() - started
+            notes.append("no candidate views share a relation signature with the query")
+            return RewritingOutcome(
+                query=query,
+                rewritings=[],
+                feasible_rewritings=[],
+                algorithm=self._algorithm,
+                elapsed_seconds=elapsed,
+                statistics=None,
+                notes=notes,
+            )
+        cost_bound = (
+            self._cost_bound_factory() if self._cost_bound_factory is not None else None
+        )
         statistics: PACBStatistics | BackchaseStatistics
         if self._algorithm == "pacb":
             result = pacb_rewrite(
                 query,
-                self._views,
+                candidates,
                 schema_constraints=self._constraints,
                 config=self._chase_config,
                 max_rewritings=max_rewritings,
+                cost_bound=cost_bound,
             )
             rewritings = result.rewritings
             statistics = result.statistics
         else:
             rewritings, statistics = classical_backchase(
                 query,
-                self._views,
+                candidates,
                 schema_constraints=self._constraints,
                 config=self._chase_config,
                 max_rewritings=max_rewritings,
+                cost_bound=cost_bound,
             )
         if minimize_results:
             rewritings = [minimize(rewriting) for rewriting in rewritings]
@@ -190,6 +248,7 @@ class Rewriter:
             elapsed_seconds=elapsed,
             statistics=statistics,
             dropped_infeasible=dropped,
+            notes=notes,
         )
         if require_feasible and rewritings and not feasible:
             raise InfeasibleRewritingError(

@@ -13,7 +13,6 @@ terms used by homomorphism search, the chase and query rewriting.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import ArityError, PivotModelError
@@ -28,16 +27,50 @@ __all__ = [
     "reset_variable_counter",
 ]
 
+# Chase and homomorphism inner loops hash the same few variables millions of
+# times; interning bounds allocation and makes the identity fast path in
+# ``__eq__`` hit for all common variables.  The cap keeps the table from
+# growing without bound under fresh-variable generation.
+_VARIABLE_INTERN_LIMIT = 65_536
 
-@dataclass(frozen=True, slots=True)
+
 class Variable:
     """A named variable of the pivot model.
 
     Variables are compared and hashed by name; two variables with the same
-    name are the same variable.
+    name are the same variable.  Instances are immutable, hash-cached and
+    interned (up to a bound), so construction of a known name returns the
+    existing object and equality short-circuits on identity.
     """
 
-    name: str
+    __slots__ = ("name", "_hash")
+
+    _interned: dict[str, "Variable"] = {}
+
+    def __new__(cls, name: str) -> "Variable":
+        interned = cls._interned.get(name)
+        if interned is not None:
+            return interned
+        self = object.__new__(cls)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash(("Variable", name)))
+        if len(cls._interned) < _VARIABLE_INTERN_LIMIT:
+            cls._interned[name] = self
+        return self
+
+    def __setattr__(self, key: str, value: object) -> None:  # pragma: no cover
+        raise AttributeError("Variable is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return isinstance(other, Variable) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self) -> tuple:
+        return (Variable, (self.name,))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"?{self.name}"
@@ -46,11 +79,38 @@ class Variable:
         return f"?{self.name}"
 
 
-@dataclass(frozen=True, slots=True)
 class Constant:
-    """A constant value (string, number, boolean or ``None``)."""
+    """A constant value (string, number, boolean or ``None``).
 
-    value: object
+    Immutable with a lazily cached hash (lazy because arbitrary values may be
+    unhashable until someone actually asks).  Not interned: distinct values
+    are unbounded, and Python's ``1 == True == 1.0`` coercion would make an
+    intern table conflate representations that print differently.
+    """
+
+    __slots__ = ("value", "_hash")
+
+    def __init__(self, value: object) -> None:
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, key: str, value: object) -> None:  # pragma: no cover
+        raise AttributeError("Constant is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return isinstance(other, Constant) and self.value == other.value
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            cached = hash(("Constant", self.value))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __reduce__(self) -> tuple:
+        return (Constant, (self.value,))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{self.value!r}"
@@ -181,10 +241,11 @@ class Substitution:
     backtracking search code simple and bug-free.
     """
 
-    __slots__ = ("_mapping",)
+    __slots__ = ("_mapping", "_hash")
 
     def __init__(self, mapping: Mapping[Variable, Term] | None = None) -> None:
         self._mapping: dict[Variable, Term] = dict(mapping or {})
+        self._hash: int | None = None
 
     # -- construction ------------------------------------------------------
     @classmethod
@@ -210,10 +271,12 @@ class Substitution:
     def bind_mutable(self, variable: Variable, term: Term) -> None:
         """In-place bind used by performance-sensitive search loops."""
         self._mapping[variable] = term
+        self._hash = None
 
     def unbind_mutable(self, variable: Variable) -> None:
         """In-place unbind used by performance-sensitive search loops."""
         self._mapping.pop(variable, None)
+        self._hash = None
 
     def copy(self) -> "Substitution":
         """Return an independent copy."""
@@ -272,9 +335,29 @@ class Substitution:
         return isinstance(other, Substitution) and self._mapping == other._mapping
 
     def __hash__(self) -> int:
-        return hash(frozenset(self._mapping.items()))
+        cached = self._hash
+        if cached is None:
+            cached = hash(frozenset(self._mapping.items()))
+            self._hash = cached
+        return cached
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         pairs = ", ".join(f"{v} -> {t}" for v, t in sorted(
             self._mapping.items(), key=lambda item: item[0].name))
         return f"{{{pairs}}}"
+
+
+def _micro_assert_equality_semantics() -> None:
+    """Equality must behave exactly as with the former dataclass terms."""
+    assert Variable("x") == Variable("x") and hash(Variable("x")) == hash(Variable("x"))
+    assert Variable("x") != Variable("y")
+    assert Constant(1) == Constant(1) and hash(Constant(1)) == hash(Constant(1))
+    assert Constant(1) != Constant(2)
+    assert Variable("x") != Constant("x") and Constant("x") != Variable("x")
+    assert Atom("R", ["?x", 1]) == Atom("R", ["?x", 1])
+    assert Substitution({Variable("x"): Constant(1)}) == Substitution(
+        {Variable("x"): Constant(1)}
+    )
+
+
+_micro_assert_equality_semantics()

@@ -23,11 +23,17 @@ from typing import Iterable
 
 from repro.core.binding_patterns import AccessPattern
 from repro.core.constraints import TGD, ConstraintSet
+from repro.core.memo import LRUMemo, memo_enabled
 from repro.core.query import ConjunctiveQuery
 from repro.core.terms import Atom
 from repro.errors import PivotModelError
 
-__all__ = ["ViewDefinition", "view_constraints", "views_constraint_set"]
+__all__ = [
+    "ViewDefinition",
+    "view_constraints",
+    "views_constraint_set",
+    "combined_constraint_set",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -121,3 +127,30 @@ def views_constraint_set(
         if direction in {"backward", "both"}:
             constraints.add(view.backward_constraint())
     return constraints
+
+
+_combined_memo = LRUMemo("views_constraint_union", max_entries=512)
+
+
+def combined_constraint_set(
+    views: Iterable[ViewDefinition],
+    schema: ConstraintSet,
+    direction: str = "both",
+) -> ConstraintSet:
+    """``views_constraint_set(views, direction) ∪ schema``, memoized.
+
+    The chase and containment memos key on each :class:`ConstraintSet`'s
+    mutation token, never its content, so a freshly built (but identical)
+    constraint set would miss every earlier entry.  Returning the *same*
+    object for repeated (views, schema, direction) combinations keeps those
+    tokens stable across rewrites — this is what makes the memos effective
+    across queries, not just within one backchase run.  Callers must treat
+    the returned set as immutable.
+    """
+    views = tuple(views)
+    if not memo_enabled():
+        return views_constraint_set(views, direction).union(schema)
+    key = (views, direction, schema.token)
+    return _combined_memo.get_or_compute(
+        key, lambda: views_constraint_set(views, direction).union(schema)
+    )

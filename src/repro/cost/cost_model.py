@@ -18,7 +18,7 @@ choosing among rewritings — the same role the cost model plays in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.catalog.statistics import StatisticsCatalog
 from repro.core.terms import Constant, Variable
@@ -32,6 +32,7 @@ __all__ = [
     "DEFAULT_PROFILES",
     "LATENCY_COST_PER_SECOND",
     "PlanCostEstimate",
+    "RewritingCostBound",
     "CostModel",
 ]
 
@@ -106,6 +107,66 @@ class PlanCostEstimate:
         return self.total_cost < other.total_cost
 
 
+class RewritingCostBound:
+    """Per-fragment cost bounds used to prune dominated rewriting candidates.
+
+    The backchase asks two questions about a candidate's fragment set:
+
+    * :meth:`lower_bound` — an *admissible* floor: no physical plan touching
+      these fragments can cost less (every access pays at least a tenth of the
+      store's request overhead, the cheapest path the access-cost formulas
+      can take);
+    * :meth:`estimate` — a scan-all proxy for what an accepted candidate will
+      actually cost (full delegated scan of each fragment plus mediator row
+      work), used as the best-so-far yardstick.
+
+    A candidate whose floor already reaches the best accepted estimate cannot
+    win the plan ranking, so :func:`repro.core.pacb.pacb_rewrite` discards it
+    before the expensive equivalence verification.  Per-fragment numbers are
+    resolved lazily and cached, so constructing a bound never scans the
+    catalog — cost stays proportional to the fragments actually examined.
+    """
+
+    __slots__ = ("_profile_for", "_cardinality_for", "_entries")
+
+    def __init__(
+        self,
+        profile_for: Callable[[str], StoreCostProfile | None],
+        cardinality_for: Callable[[str], float],
+    ) -> None:
+        self._profile_for = profile_for
+        self._cardinality_for = cardinality_for
+        self._entries: dict[str, tuple[float, float]] = {}
+
+    def _entry(self, fragment: str) -> tuple[float, float]:
+        entry = self._entries.get(fragment)
+        if entry is None:
+            profile = self._profile_for(fragment)
+            if profile is None:
+                # Unknown fragment: floor 0 keeps the bound admissible and an
+                # infinite estimate means it never prunes other candidates.
+                entry = (0.0, float("inf"))
+            else:
+                floor = 0.1 * profile.request_overhead
+                rows = max(float(self._cardinality_for(fragment)), 0.0)
+                estimate = (
+                    profile.request_cost
+                    + (rows * profile.scan_row_cost) / max(profile.parallelism, 1.0)
+                    + CostModel.runtime_row_cost() * rows
+                )
+                entry = (floor, estimate)
+            self._entries[fragment] = entry
+        return entry
+
+    def lower_bound(self, fragments: Iterable[str]) -> float:
+        """Admissible cost floor of any plan over ``fragments``."""
+        return sum(self._entry(fragment)[0] for fragment in fragments)
+
+    def estimate(self, fragments: Iterable[str]) -> float:
+        """Scan-all cost proxy for a plan over ``fragments``."""
+        return sum(self._entry(fragment)[1] for fragment in fragments)
+
+
 class CostModel:
     """Estimates the execution cost of planned rewritings."""
 
@@ -134,6 +195,24 @@ class CostModel:
     def estimator(self) -> CardinalityEstimator:
         """The cardinality estimator used by this cost model."""
         return self._estimator
+
+    def rewriting_bound(
+        self, data_model_for: Callable[[str], str | None]
+    ) -> RewritingCostBound:
+        """A :class:`RewritingCostBound` backed by this model's statistics.
+
+        ``data_model_for`` maps a fragment name to the data model of its store
+        (or None for unknown fragments); resolution happens lazily per
+        fragment, so the bound is cheap to build even on huge catalogs.
+        """
+
+        def profile(fragment: str) -> StoreCostProfile | None:
+            data_model = data_model_for(fragment)
+            if data_model is None:
+                return None
+            return self.profile_for(data_model)
+
+        return RewritingCostBound(profile, self.estimated_cardinality)
 
     # -- runtime feedback --------------------------------------------------------------
     def record_observation(self, fragment: str, observed_rows: int) -> float | None:

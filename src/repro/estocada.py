@@ -33,7 +33,12 @@ from repro.core.terms import Variable
 from repro.cost.chooser import PlanChooser, RankedPlan
 from repro.cost.cost_model import CostModel, StoreCostProfile
 from repro.datamodel.relational import RelationalSchema, TableSchema
-from repro.errors import NoRewritingFoundError, TranslationError
+from repro.errors import (
+    NoRewritingFoundError,
+    TranslationError,
+    UnknownFragmentError,
+    UnknownStoreError,
+)
 from repro.languages.docql import DocumentQuery
 from repro.languages.sql.translator import SqlTranslator, TranslatedQuery
 from repro.plan.physical import push_partial_aggregation
@@ -79,9 +84,12 @@ class PlanCache:
     """A small LRU cache of rewrite-and-plan results (:class:`Explanation`).
 
     Keys are the normalized query shape (alpha-renamed variables, constants
-    included) plus the catalog version and rewriting algorithm, so a catalog
-    mutation makes every earlier entry unreachable; ``register_fragment`` /
-    ``drop_fragment`` additionally clear the cache eagerly to free memory.
+    included) plus the rewriting algorithm and the catalog's per-relation
+    epoch signature over the query's reachable relations, so a catalog
+    mutation invalidates exactly the entries whose queries can see the
+    mutated relations; ``register_fragment`` / ``drop_fragment``
+    additionally drop intersecting entries eagerly via
+    :meth:`invalidate_relations` to free memory.
     A hit skips the whole PACB chase/backchase pipeline and the planner.
     Entries whose plans rely on a fragment whose observed statistics have
     drifted are dropped selectively via :meth:`invalidate_fragment`.
@@ -89,11 +97,12 @@ class PlanCache:
 
     def __init__(self, capacity: int = 128) -> None:
         self._capacity = max(0, capacity)
-        self._entries: OrderedDict[tuple, Explanation] = OrderedDict()
+        self._entries: OrderedDict[tuple, tuple[Explanation, frozenset[str]]] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.scoped_invalidations = 0
 
     def get(self, key: tuple) -> Explanation | None:
         """The cached explanation for ``key``, refreshing its recency."""
@@ -103,13 +112,21 @@ class PlanCache:
             return None
         self._entries.move_to_end(key)
         self.hits += 1
-        return entry
+        return entry[0]
 
-    def put(self, key: tuple, explanation: Explanation) -> None:
-        """Insert an entry, evicting the least recently used beyond capacity."""
+    def put(
+        self, key: tuple, explanation: Explanation, relations: Iterable[str] = ()
+    ) -> None:
+        """Insert an entry, evicting the least recently used beyond capacity.
+
+        ``relations`` is the entry's relation signature — every pivot
+        relation and fragment name the query's rewritings can possibly touch
+        (the index closure of its body relations); scoped invalidation drops
+        entries whose signature intersects a mutated fragment's.
+        """
         if self._capacity == 0:
             return
-        self._entries[key] = explanation
+        self._entries[key] = (explanation, frozenset(relations))
         self._entries.move_to_end(key)
         while len(self._entries) > self._capacity:
             self._entries.popitem(last=False)
@@ -129,7 +146,7 @@ class PlanCache:
         """
         stale = [
             key
-            for key, explanation in self._entries.items()
+            for key, (explanation, _) in self._entries.items()
             if any(
                 access.descriptor.fragment_name == fragment
                 for ranked in explanation.ranked_plans
@@ -140,6 +157,25 @@ class PlanCache:
         for key in stale:
             del self._entries[key]
         self.invalidations += len(stale)
+        return len(stale)
+
+    def invalidate_relations(self, relations: Iterable[str]) -> int:
+        """Drop every entry whose relation signature intersects ``relations``.
+
+        Called when a fragment is registered or dropped: only cached plans
+        for queries that can reach one of the fragment's relations could have
+        chosen differently, so everything else survives.  Returns the number
+        of entries dropped.
+        """
+        touched = frozenset(relations)
+        stale = [
+            key
+            for key, (_, signature) in self._entries.items()
+            if signature & touched
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.scoped_invalidations += len(stale)
         return len(stale)
 
     def __len__(self) -> int:
@@ -154,6 +190,7 @@ class PlanCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "scoped_invalidations": self.scoped_invalidations,
         }
 
 
@@ -180,6 +217,13 @@ class Estocada:
         self._document_collections: dict[str, tuple[str, ...]] = {}
         self._plan_cache = PlanCache(plan_cache_size)
         self._drift_threshold = max(0.0, drift_threshold)
+        # The rewriter persists across queries so its signature index and the
+        # constraint-set identity behind the chase/containment memo keys are
+        # reused; fragment registration updates it incrementally, and any
+        # catalog mutation it was not told about (detected via the version
+        # counter) forces a full rebuild.
+        self._rewriter_instance: Rewriter | None = None
+        self._rewriter_version = -1
 
     # -- registration ------------------------------------------------------------------
     @property
@@ -356,19 +400,33 @@ class Estocada:
         indexes: Sequence[str] = (),
         partitions: int | None = None,
     ) -> None:
-        """Register a fragment descriptor; optionally materialize its rows."""
+        """Register a fragment descriptor; optionally materialize its rows.
+
+        Only cached plans whose queries can reach one of the fragment's
+        relations are invalidated; the persistent rewriter's signature index
+        is updated in place instead of being rebuilt.
+        """
         self._manager.register_fragment(descriptor)
+        if self._rewriter_instance is not None and self._rewriter_version == self._manager.version - 1:
+            self._rewriter_instance.add_view(self._manager.resolved_view(descriptor))
+            self._rewriter_version = self._manager.version
         if rows is not None:
             store = self._manager.store(descriptor.store)
             materialize_fragment(store, descriptor, rows, indexes=indexes, partitions=partitions)
         self._statistics.invalidate(descriptor.fragment_name)
-        self._plan_cache.clear()
+        self._plan_cache.invalidate_relations(self._manager.fragment_relations(descriptor))
 
     def drop_fragment(self, name: str) -> StorageDescriptor:
-        """Unregister a fragment descriptor (data stays in the store)."""
+        """Unregister a fragment descriptor (data stays in the store).
+
+        Invalidation is scoped like :meth:`register_fragment`'s."""
         self._statistics.invalidate(name)
-        self._plan_cache.clear()
-        return self._manager.drop_fragment(name)
+        descriptor = self._manager.drop_fragment(name)
+        if self._rewriter_instance is not None and self._rewriter_version == self._manager.version - 1:
+            self._rewriter_instance.remove_view(descriptor.view.name)
+            self._rewriter_version = self._manager.version
+        self._plan_cache.invalidate_relations(self._manager.fragment_relations(descriptor))
+        return descriptor
 
     # -- plan cache --------------------------------------------------------------------
     def cache_stats(self) -> Mapping[str, int]:
@@ -381,8 +439,8 @@ class Estocada:
 
     def _plan_cache_key(
         self, pivot_query: ConjunctiveQuery, bound_parameters: Sequence[Variable]
-    ) -> tuple:
-        """Normalized query shape + catalog version + rewriting algorithm.
+    ) -> tuple[tuple, frozenset[str]]:
+        """Normalized query shape + rewriting algorithm + relation epochs.
 
         The shape keeps the query's actual variable names (a cached plan's
         operators emit those names, and the residual filters / output
@@ -390,8 +448,18 @@ class Estocada:
         its constants (they are baked into the compiled store requests).
         The query language translators name variables deterministically from
         column names, so a repeated query template maps to the same key.
-        The catalog version makes entries from before any registration/drop
-        unreachable.
+
+        Instead of the global catalog version, the key embeds the catalog's
+        per-relation epoch signature over the query's *reachable* relations
+        (the signature index's TGD/view closure of its body relations — a
+        sound over-approximation of every relation and fragment its
+        rewritings can mention).  Registering or dropping fragment #5000
+        therefore only changes the keys of queries that could actually see
+        it; everything else keeps hitting.  Schema-level changes (dataset
+        constraints) key on the coarse structural epoch.
+
+        Returns the key plus the reachable-relation set, which the cache
+        stores per entry for eager scoped invalidation.
         """
 
         def canonical(term) -> object:
@@ -405,7 +473,16 @@ class Estocada:
             for atom in pivot_query.body
         )
         bound = tuple(sorted(f"?{variable.name}" for variable in bound_parameters))
-        return (self._algorithm, self._manager.version, head, body, bound)
+        reachable = self._rewriter().index.closure(pivot_query.relations())
+        key = (
+            self._algorithm,
+            self._manager.structural_epoch,
+            self._manager.epoch_signature(reachable),
+            head,
+            body,
+            bound,
+        )
+        return key, reachable
 
     # -- query translation ----------------------------------------------------------------
     def translate_sql(self, dataset: str, sql: str) -> TranslatedQuery:
@@ -423,14 +500,29 @@ class Estocada:
         return DocumentQuery(collection=collection, paths=paths)
 
     # -- the query evaluator -----------------------------------------------------------------
+    def _data_model_for(self, fragment: str) -> str | None:
+        """The data model of a fragment's store (None when unknown)."""
+        try:
+            descriptor = self._manager.fragment(fragment)
+            return self._manager.store(descriptor.store).capabilities().data_model
+        except (UnknownFragmentError, UnknownStoreError):
+            return None
+
     def _rewriter(self) -> Rewriter:
-        return Rewriter(
-            views=self._manager.view_definitions(),
-            schema_constraints=self._manager.schema_constraints(),
-            access_patterns=self._manager.access_pattern_registry(),
-            algorithm=self._algorithm,
-            chase_config=self._chase_config,
-        )
+        version = self._manager.version
+        if self._rewriter_instance is None or self._rewriter_version != version:
+            self._rewriter_instance = Rewriter(
+                views=self._manager.view_definitions(),
+                schema_constraints=self._manager.schema_constraints(),
+                access_patterns=self._manager.access_pattern_registry(),
+                algorithm=self._algorithm,
+                chase_config=self._chase_config,
+                cost_bound_factory=lambda: self._cost_model.rewriting_bound(
+                    self._data_model_for
+                ),
+            )
+            self._rewriter_version = version
+        return self._rewriter_instance
 
     def explain(
         self,
@@ -456,7 +548,7 @@ class Estocada:
         chooser = PlanChooser(planner, self._cost_model)
         ranked: list[RankedPlan] = []
         chosen: RankedPlan | None = None
-        notes: list[str] = []
+        notes: list[str] = list(outcome.notes)
         if outcome.feasible_rewritings:
             try:
                 ranked = chooser.rank(outcome.feasible_rewritings, bound_parameters=bound_parameters)
@@ -491,13 +583,13 @@ class Estocada:
         query (1 forces serial execution).
         """
         pivot_query, output_names, residual, aggregation, extras = self._to_pivot(query, dataset)
-        cache_key = self._plan_cache_key(pivot_query, bound_parameters)
+        cache_key, reachable = self._plan_cache_key(pivot_query, bound_parameters)
         explanation = self._plan_cache.get(cache_key)
         cache_hit = explanation is not None
         if explanation is None:
             explanation = self._explain_pivot(pivot_query, bound_parameters)
             if explanation.chosen is not None:
-                self._plan_cache.put(cache_key, explanation)
+                self._plan_cache.put(cache_key, explanation, reachable)
         if explanation.chosen is None:
             raise NoRewritingFoundError(
                 f"query {pivot_query.name!r} cannot be answered from the registered fragments: "

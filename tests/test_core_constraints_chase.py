@@ -220,6 +220,132 @@ class TestChase:
         assert result.provenance[derived[0]].variables() == {0}
 
 
+class TestChaseEdgeCases:
+    def test_cyclic_full_tgds_reach_fixpoint(self):
+        # Mutually recursive FULL TGDs terminate without touching the budget:
+        # the restricted chase stops once both implications are satisfied.
+        rules = [
+            TGD([Atom("A", ["?x", "?y"])], [Atom("B", ["?y", "?x"])]),
+            TGD([Atom("B", ["?x", "?y"])], [Atom("A", ["?y", "?x"])]),
+        ]
+        result = chase([Atom("A", [1, 2])], rules, config=ChaseConfig(max_steps=10))
+        assert result.facts == frozenset({Atom("A", [1, 2]), Atom("B", [2, 1])})
+
+    def test_cyclic_existential_tgd_hits_fact_budget(self):
+        # R(x, y) -> exists z: R(y, z) grows the instance forever; the fact
+        # budget must stop it even when the step budget is generous.
+        grower = TGD([Atom("R", ["?x", "?y"])], [Atom("R", ["?y", "?z"])])
+        with pytest.raises(ChaseNonTerminationError):
+            chase(
+                [Atom("R", [0, 1])],
+                [grower],
+                config=ChaseConfig(max_steps=1_000_000, max_facts=32),
+            )
+
+    def test_egd_null_resolution_is_deterministic(self):
+        from repro.core.chase import is_labelled_null
+        from repro.core.query import freeze_atoms
+
+        single_value = EGD(
+            [Atom("V", ["?n", "?a"]), Atom("V", ["?n", "?b"])],
+            [(Variable("a"), Variable("b"))],
+        )
+        frozen, _ = freeze_atoms(
+            [Atom("V", ["k", "?v1"]), Atom("V", ["k", "?v2"]), Atom("V", ["k", "?v3"])]
+        )
+        nulls = sorted(
+            term.value for fact in frozen for term in fact.terms if is_labelled_null(term)
+        )
+        result = chase(frozen, [single_value])
+        # The cascade merges all three nulls; the orientation rule keeps the
+        # lexicographically smallest one, every run.
+        assert result.facts == frozenset({Atom("V", ["k", nulls[0]])})
+        again = chase(frozen, [single_value])
+        assert again.facts == result.facts
+        assert set(result.equalities) == {Constant(value) for value in nulls[1:]}
+
+    def test_egd_null_yields_to_constant(self):
+        from repro.core.query import freeze_atoms
+
+        single_value = EGD(
+            [Atom("V", ["?n", "?a"]), Atom("V", ["?n", "?b"])],
+            [(Variable("a"), Variable("b"))],
+        )
+        frozen, _ = freeze_atoms([Atom("V", ["k", "?v"])])
+        result = chase(list(frozen) + [Atom("V", ["k", 42])], [single_value])
+        assert result.facts == frozenset({Atom("V", ["k", 42])})
+
+    def test_order_pattern_is_deterministic(self):
+        from repro.core.homomorphism import InstanceIndex, _order_pattern
+
+        index = InstanceIndex(
+            [Atom("R", [i, i + 1]) for i in range(3)]
+            + [Atom("S", [1]), Atom("T", [1])]
+        )
+        pattern = [Atom("R", ["?x", "?y"]), Atom("S", ["?y"]), Atom("T", ["?y"])]
+        ordered = _order_pattern(pattern, index)
+        # Most-constrained first; the S/T candidate-count tie breaks by
+        # pattern position, and once ?y is bound T beats the wider R scan.
+        assert ordered == [Atom("S", ["?y"]), Atom("T", ["?y"]), Atom("R", ["?x", "?y"])]
+        assert all(_order_pattern(pattern, index) == ordered for _ in range(5))
+
+    def test_homomorphism_results_insensitive_to_pattern_order(self):
+        import itertools as it
+
+        instance = [Atom("R", [1, 2]), Atom("R", [2, 3]), Atom("S", [2]), Atom("S", [3])]
+        pattern = [Atom("R", ["?x", "?y"]), Atom("S", ["?y"]), Atom("R", ["?y", "?z"])]
+        expected = None
+        for permutation in it.permutations(pattern):
+            found = {
+                frozenset(match.items())
+                for match in iterate_homomorphisms(list(permutation), instance)
+            }
+            if expected is None:
+                expected = found
+            assert found == expected
+
+
+class TestTermInterning:
+    def test_variables_are_interned(self):
+        assert Variable("x") is Variable("x")
+        assert Variable("x") is not Variable("y")
+
+    def test_interned_equality_and_hash(self):
+        assert Variable("x") == Variable("x")
+        assert hash(Variable("x")) == hash(Variable("x"))
+        assert Variable("x") != Constant("x")
+        assert Constant(1) == Constant(1)
+        assert hash(Constant(1)) == hash(Constant(1))
+
+    def test_slots_prevent_instance_dicts(self):
+        for term in (Variable("x"), Constant(1)):
+            assert not hasattr(term, "__dict__")
+
+    def test_variables_are_immutable(self):
+        with pytest.raises(AttributeError):
+            Variable("x").name = "y"
+
+    def test_pickle_roundtrip(self):
+        import pickle
+
+        for term in (Variable("x"), Constant((1, "a"))):
+            assert pickle.loads(pickle.dumps(term)) == term
+
+    def test_substitution_hash_tracks_mutation(self):
+        from repro.core import Substitution
+
+        substitution = Substitution({Variable("x"): Constant(1)})
+        frozen_twin = Substitution({Variable("x"): Constant(1)})
+        assert hash(substitution) == hash(frozen_twin)
+        substitution.bind_mutable(Variable("y"), Constant(2))
+        assert substitution != frozen_twin
+        assert hash(substitution) == hash(
+            Substitution({Variable("x"): Constant(1), Variable("y"): Constant(2)})
+        )
+        substitution.unbind_mutable(Variable("y"))
+        assert hash(substitution) == hash(frozen_twin)
+
+
 class TestContainment:
     def test_self_containment(self):
         query = ConjunctiveQuery("Q", ["?x"], [Atom("R", ["?x", "?y"])])

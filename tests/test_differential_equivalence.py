@@ -285,6 +285,152 @@ class TestCompiledDifferential:
                     assert got == expected, f"{mode}/{name} diverged on {sql!r}"
 
 
+# -- the rewrite-at-scale profile ----------------------------------------------------
+
+
+def _alpha_canonical(query):
+    """An alpha-invariant, body-order-invariant fingerprint of a CQ.
+
+    The chase invents labelled nulls from a global counter, so the same
+    logical rewriting carries different variable names across runs; this
+    renames variables by first occurrence (head first) and minimizes over
+    body-atom permutations (rewriting bodies are small).
+    """
+    import itertools as it
+
+    from repro.core import Constant, Variable
+
+    best = None
+    for permutation in it.permutations(query.body):
+        mapping = {}
+
+        def rename(term):
+            if isinstance(term, Variable):
+                if term not in mapping:
+                    mapping[term] = ("v", len(mapping))
+                return mapping[term]
+            assert isinstance(term, Constant)
+            return ("c", repr(term.value))
+
+        head = tuple(rename(term) for term in query.head_terms)
+        body = tuple(
+            (atom.relation, tuple(rename(term) for term in atom.terms))
+            for atom in permutation
+        )
+        key = (query.head_relation, head, body)
+        if best is None or key < best:
+            best = key
+    return best
+
+
+_PIVOT_RELATIONS = ("rel0", "rel1", "rel2", "rel3")
+
+
+@st.composite
+def view_catalogs(draw):
+    """A random binary-relation schema, view catalog and chain query."""
+    from repro.core import Atom, ConjunctiveQuery, ViewDefinition
+
+    relations = list(
+        _PIVOT_RELATIONS[: draw(st.integers(min_value=2, max_value=4))]
+    )
+    views = []
+    for position in range(draw(st.integers(min_value=1, max_value=5))):
+        shape = draw(st.sampled_from(["identity", "projection", "join"]))
+        first = draw(st.sampled_from(relations))
+        if shape == "identity":
+            head, body = ["?a", "?b"], [Atom(first, ["?a", "?b"])]
+        elif shape == "projection":
+            head, body = ["?a"], [Atom(first, ["?a", "?b"])]
+        else:
+            second = draw(st.sampled_from(relations))
+            head = ["?a", "?c"]
+            body = [Atom(first, ["?a", "?b"]), Atom(second, ["?b", "?c"])]
+        name = f"V{position}"
+        views.append(ViewDefinition(name, ConjunctiveQuery(name, head, body)))
+    length = draw(st.integers(min_value=1, max_value=2))
+    variables = [f"?q{i}" for i in range(length + 1)]
+    body = [
+        Atom(draw(st.sampled_from(relations)), [variables[i], variables[i + 1]])
+        for i in range(length)
+    ]
+    query = ConjunctiveQuery("Q", [variables[0], variables[length]], body)
+    return views, query
+
+
+_REWRITE_MODES = {
+    "indexed_memoized": {"REPRO_REWRITE_INDEX": "1", "REPRO_REWRITE_MEMO": "1"},
+    "indexed_cold": {"REPRO_REWRITE_INDEX": "1", "REPRO_REWRITE_MEMO": "0"},
+    "unindexed": {"REPRO_REWRITE_INDEX": "0", "REPRO_REWRITE_MEMO": "0"},
+}
+
+
+class TestIndexedRewritingDifferential:
+    """The signature index and the memos never change a rewriting result.
+
+    The index prunes candidate views and chase constraints, and the memos
+    replay chases/containment verdicts — both must be invisible: for every
+    random view catalog, every mode finds the same rewriting set (up to
+    variable renaming and body order), and on the marketplace deployment the
+    winning plan and its cost estimate agree.
+    """
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(scenario=view_catalogs())
+    @pytest.mark.parametrize("algorithm", ["pacb", "classical"])
+    def test_modes_find_identical_rewriting_sets(self, algorithm, scenario):
+        from repro.core import Rewriter
+
+        views, query = scenario
+        results = {}
+        for mode, env in _REWRITE_MODES.items():
+            with _execution_mode(**env):
+                outcome = Rewriter(views=views, algorithm=algorithm).rewrite(query)
+                results[mode] = {
+                    _alpha_canonical(rewriting) for rewriting in outcome.rewritings
+                }
+        reference = results["unindexed"]
+        for mode, found in results.items():
+            assert found == reference, f"{mode} diverged on {query} over {views}"
+
+    def test_winning_plan_cost_agrees_on_the_marketplace(
+        self, marketplace_builder, marketplace_data
+    ):
+        from repro.core import Atom, ConjunctiveQuery, Constant
+
+        queries = [
+            ConjunctiveQuery(
+                "QU", ["?pc"], [Atom("users", [Constant(7), "?n", "?c", "?p", "?pc"])]
+            ),
+            ConjunctiveQuery(
+                "QJ",
+                ["?s", "?n"],
+                [
+                    Atom("users", ["?u", "?n", "?c", "?p", "?pc"]),
+                    Atom("purchases", ["?u", "?s", "?cat", "?q", "?price"]),
+                ],
+            ),
+        ]
+        chosen = {}
+        for mode, env in _REWRITE_MODES.items():
+            with _execution_mode(**env):
+                est = marketplace_builder(marketplace_data)
+                chosen[mode] = [
+                    (
+                        explanation.chosen.estimate.total_cost,
+                        explanation.plan_text(),
+                        len(explanation.rewritings),
+                    )
+                    for explanation in (est.explain(query) for query in queries)
+                ]
+        assert chosen["indexed_memoized"] == chosen["unindexed"]
+        assert chosen["indexed_cold"] == chosen["unindexed"]
+
+
 # -- the chaos profile ---------------------------------------------------------------
 
 

@@ -322,14 +322,23 @@ class TestPlanCache:
         result = est.query(self.QUERY)
         assert result.cache_hit is False
 
-    def test_direct_catalog_mutation_invalidates_via_version(self, marketplace_estocada):
+    def test_direct_catalog_mutation_scoped_by_relation_epochs(self, marketplace_estocada):
         est = marketplace_estocada
-        est.query(self.QUERY)
-        # Mutating the manager directly bypasses the facade's eager clear();
-        # the catalog version baked into the key must still force a miss.
+        before = est.query(self.QUERY)
+        assert list(before.store_breakdown) == ["redis"]
+        # Direct manager mutations bypass the facade's eager invalidation;
+        # the per-relation epochs baked into the key must still decide.  An
+        # unrelated mutation (carts) leaves the users entry's signature
+        # untouched, so the cached plan keeps hitting.
         est.catalog.drop_fragment("F_carts")
-        result = est.query(self.QUERY)
-        assert result.cache_hit is False
+        assert est.query(self.QUERY).cache_hit is True
+        # Mutating a fragment the query can reach changes its epoch
+        # signature: the stale redis plan misses and re-plans onto pg.
+        est.catalog.drop_fragment("F_prefs")
+        after = est.query(self.QUERY)
+        assert after.cache_hit is False
+        assert list(after.store_breakdown) == ["pg"]
+        assert after.rows == before.rows
 
     def test_distinct_queries_use_distinct_entries(self, marketplace_estocada):
         est = marketplace_estocada
