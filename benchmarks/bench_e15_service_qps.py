@@ -1,0 +1,256 @@
+"""E15 — multi-tenant service: admission control prevents queueing collapse.
+
+An open-loop driver (:class:`repro.testing.OpenLoopDriver`) offers a point
+-lookup workload to a :class:`repro.service.QueryService` over a marketplace
+fragment served by a store with a fixed simulated latency, sweeping offered
+load from well below to several times the service's capacity
+(``workers / service_time``).  Two configurations run the identical schedule:
+
+* **no admission** — an effectively unbounded queue, no rate limit, no
+  deadline.  Below the knee it behaves fine; past it the backlog grows for
+  the whole submission window, so client-observed p99 explodes (each query
+  waits behind everything offered before it) and SLO attainment collapses
+  toward zero even though the engine itself is healthy;
+* **admission** — a bounded per-tenant queue plus a per-query deadline.
+  Excess offered load is fast-rejected (``OverloadedError``) before any
+  planning work, so the queue — and therefore p99 of the queries actually
+  served — stays bounded while goodput holds at capacity.
+
+A third scenario degrades the store with seeded latency spikes
+(:class:`repro.testing.FaultInjector`) under moderate load: deadlines turn
+stragglers into typed timeouts, the bounded queue sheds the backlog they
+cause, and the healthy remainder still completes within SLO.
+
+Results land in ``BENCH_e15.json``.  ``REPRO_BENCH_SMOKE=1`` (CI) shortens
+the sweep and skips wall-clock assertions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro import Estocada
+from repro.catalog import AccessMethod, StorageDescriptor, StorageLayout
+from repro.core import Atom, ConjunctiveQuery, ViewDefinition
+from repro.datamodel import TableSchema
+from repro.service import QueryService, TenantPolicy
+from repro.stores import RelationalStore
+from repro.testing import FaultInjector, FaultProfile, OpenLoopDriver, WorkloadQuery
+from repro.workloads import MarketplaceConfig, generate_marketplace
+
+RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_e15.json"
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+SERVICE_TIME_SECONDS = 0.01  # simulated store latency per query
+WORKERS = 4
+CAPACITY_QPS = WORKERS / SERVICE_TIME_SECONDS  # ~400 qps before queueing
+LOAD_FACTORS = (0.5, 1.5, 3.0) if SMOKE else (0.5, 1.0, 2.0, 4.0)
+DURATION_SECONDS = 0.6 if SMOKE else 2.5
+DRAIN_SECONDS = 0.5 if SMOKE else 2.0
+SLO_SECONDS = 0.1
+DEADLINE_SECONDS = 0.1
+QUEUE_DEPTH = 24
+SPIKE_RATE = 0.25
+SPIKE_SECONDS = 0.08
+SEED = 97
+
+
+def _view(name, head, body, columns):
+    return ViewDefinition(name, ConjunctiveQuery(name, head, body), column_names=columns)
+
+
+def _build(degraded: bool = False) -> Estocada:
+    """Purchases on one relational store with a fixed service time."""
+    data = generate_marketplace(
+        MarketplaceConfig(users=120, products=150, orders=600, carts=60, log_lines=1200, seed=7)
+    )
+    est = Estocada()
+    store = RelationalStore("pg", latency=SERVICE_TIME_SECONDS)
+    if degraded:
+        store = FaultInjector(
+            store, FaultProfile(seed=SEED, slow_rate=SPIKE_RATE, slow_seconds=SPIKE_SECONDS)
+        )
+    est.register_store("pg", store)
+    est.register_relational_dataset(
+        "shop",
+        [TableSchema("purchases", ("uid", "sku", "category", "quantity", "price"))],
+    )
+    est.register_fragment(
+        StorageDescriptor(
+            "F_purchases", "shop", "pg",
+            _view("F_purchases", ["?u", "?s", "?c", "?q", "?pr"],
+                  [Atom("purchases", ["?u", "?s", "?c", "?q", "?pr"])],
+                  ("uid", "sku", "category", "quantity", "price")),
+            StorageLayout("purchases"), AccessMethod("scan"),
+        ),
+        rows=data.purchases(),
+        indexes=("uid",),
+    )
+    return est
+
+
+def _workload(tenant: str, deadline_seconds: float | None) -> list[WorkloadQuery]:
+    return [
+        WorkloadQuery(
+            query=f"SELECT uid, sku, price FROM purchases WHERE uid = {uid}",
+            dataset="shop",
+            tenant=tenant,
+            deadline_seconds=deadline_seconds,
+            parallelism=1,
+        )
+        for uid in (7, 23, 42, 77)
+    ]
+
+
+def _sweep(est: Estocada, policy: TenantPolicy, deadline_seconds: float | None):
+    """One offered-load sweep; a fresh service per point, shared warm facade."""
+    points = []
+    for factor in LOAD_FACTORS:
+        offered = CAPACITY_QPS * factor
+        tenant = f"app-{factor:g}x"
+        service = QueryService(est, workers=WORKERS, default_policy=None)
+        service.register_tenant(tenant, policy)
+        mix = _workload(tenant, deadline_seconds)
+        # Warm the tenant's plan-cache namespace so the sweep measures
+        # serving, not first-query planning.
+        service.execute(mix[0].query, dataset=mix[0].dataset, tenant=tenant, parallelism=1)
+
+        def submit(item, _service=service):
+            return _service.submit(
+                item.query,
+                dataset=item.dataset,
+                tenant=item.tenant,
+                deadline_seconds=item.deadline_seconds,
+                parallelism=item.parallelism,
+            )
+
+        driver = OpenLoopDriver(submit, mix, seed=SEED)
+        report = driver.run(
+            offered,
+            DURATION_SECONDS,
+            slo_seconds=SLO_SECONDS,
+            drain_seconds=DRAIN_SECONDS,
+        )
+        service.close()
+        points.append({"load_factor": factor, **report.describe()})
+    return points
+
+
+def test_e15_report(capsys):
+    est = _build()
+    no_admission = _sweep(
+        est,
+        TenantPolicy(max_concurrent=WORKERS, queue_depth=1_000_000),
+        deadline_seconds=None,
+    )
+    admission = _sweep(
+        est,
+        TenantPolicy(max_concurrent=WORKERS, queue_depth=QUEUE_DEPTH),
+        deadline_seconds=DEADLINE_SECONDS,
+    )
+
+    # Degraded store: seeded latency spikes; deadlines + bounded queue turn
+    # stragglers into typed timeouts and shed the backlog they cause.
+    degraded_est = _build(degraded=True)
+    degraded_service = QueryService(degraded_est, workers=WORKERS, default_policy=None)
+    degraded_service.register_tenant(
+        "app-degraded", TenantPolicy(max_concurrent=WORKERS, queue_depth=QUEUE_DEPTH)
+    )
+    mix = _workload("app-degraded", DEADLINE_SECONDS)
+    degraded_service.execute(
+        mix[0].query, dataset=mix[0].dataset, tenant="app-degraded", parallelism=1
+    )
+    degraded_driver = OpenLoopDriver(
+        lambda item: degraded_service.submit(
+            item.query,
+            dataset=item.dataset,
+            tenant=item.tenant,
+            deadline_seconds=item.deadline_seconds,
+            parallelism=item.parallelism,
+        ),
+        mix,
+        seed=SEED,
+    )
+    degraded = degraded_driver.run(
+        CAPACITY_QPS * 0.7,
+        DURATION_SECONDS,
+        slo_seconds=SLO_SECONDS,
+        drain_seconds=DRAIN_SECONDS,
+    ).describe()
+    degraded_summary = degraded_service.summary()
+    degraded_service.close()
+
+    report = {
+        "benchmark": "e15_service_qps",
+        "smoke": SMOKE,
+        "workers": WORKERS,
+        "service_time_seconds": SERVICE_TIME_SECONDS,
+        "capacity_qps": CAPACITY_QPS,
+        "slo_seconds": SLO_SECONDS,
+        "deadline_seconds": DEADLINE_SECONDS,
+        "queue_depth": QUEUE_DEPTH,
+        "no_admission": no_admission,
+        "admission": admission,
+        "degraded": {
+            "spike": {"rate": SPIKE_RATE, "seconds": SPIKE_SECONDS, "seed": SEED},
+            "offered_factor": 0.7,
+            **degraded,
+            "tenant_usage": degraded_summary["tenants"].get("app-degraded", {}),
+        },
+    }
+    RESULT_FILE.write_text(json.dumps(report, indent=2) + "\n")
+
+    with capsys.disabled():
+        print(f"\n[E15] service QPS / tail latency ({WORKERS} workers, "
+              f"{SERVICE_TIME_SECONDS * 1e3:.0f} ms service time, "
+              f"capacity ~{CAPACITY_QPS:.0f} qps)")
+        for label, sweep in (("no admission", no_admission), ("admission   ", admission)):
+            for point in sweep:
+                print(f"  {label} @ {point['load_factor']:>3}x:  "
+                      f"goodput {point['sustained_qps']:6.1f} qps   "
+                      f"p50 {point['p50_seconds'] * 1e3:7.1f} ms   "
+                      f"p99 {point['p99_seconds'] * 1e3:7.1f} ms   "
+                      f"shed {point['shed_rate']:5.1%}   "
+                      f"SLO {point['slo_attainment']:5.1%}")
+        print(f"  degraded @ 0.7x:  goodput {degraded['sustained_qps']:.1f} qps   "
+              f"timed out {degraded['timed_out']}   shed {degraded['shed']}   "
+              f"SLO {degraded['slo_attainment']:.1%}")
+        print(f"  report written to {RESULT_FILE.name}")
+
+    overload_no_admission = no_admission[-1]
+    overload_admission = admission[-1]
+    # Structural claims hold everywhere: without bounds nothing is ever shed
+    # and the overload backlog outlives the drain window; with bounds the
+    # excess is shed and the queue never outgrows its cap.
+    assert all(point["shed"] == 0 for point in no_admission)
+    assert overload_no_admission["unfinished"] > 0
+    assert overload_admission["shed"] > 0
+    assert overload_admission["completed"] > 0
+    assert degraded["timed_out"] > 0
+    assert degraded["completed"] > 0
+    if not SMOKE:
+        # Past saturation the unbounded queue's p99 dwarfs the bounded one's,
+        # and only the admission-controlled service still meets its SLO for a
+        # meaningful fraction of offered load.
+        assert overload_admission["p99_seconds"] < overload_no_admission["p99_seconds"] / 2, (
+            f"admission p99 {overload_admission['p99_seconds']:.3f}s not well below "
+            f"no-admission {overload_no_admission['p99_seconds']:.3f}s"
+        )
+        assert overload_admission["slo_attainment"] > overload_no_admission["slo_attainment"]
+        assert overload_admission["p99_seconds"] <= SLO_SECONDS * 2
+
+
+def test_e15_service_results_match_direct_execution():
+    """Serving through the admission layer must not change any answer."""
+    est = _build()
+    sql = "SELECT uid, sku, price FROM purchases WHERE uid = 42"
+    expected = sorted(map(repr, est.query(sql, dataset="shop").rows))
+    service = QueryService(est, workers=2)
+    try:
+        for tenant in ("a", "b"):
+            got = service.execute(sql, dataset="shop", tenant=tenant)
+            assert sorted(map(repr, got.rows)) == expected
+    finally:
+        service.close()

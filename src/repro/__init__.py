@@ -12,7 +12,7 @@ The top-level facade is :class:`repro.Estocada`; the rewriting engine lives in
 
 from repro._version import __version__
 
-__all__ = ["__version__", "Estocada"]
+__all__ = ["__version__", "Estocada", "QueryService", "TenantPolicy", "ServiceResult"]
 
 
 def __getattr__(name: str):
@@ -22,4 +22,8 @@ def __getattr__(name: str):
         from repro.estocada import Estocada
 
         return Estocada
+    if name in ("QueryService", "TenantPolicy", "ServiceResult"):
+        from repro import service
+
+        return getattr(service, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

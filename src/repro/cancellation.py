@@ -1,0 +1,124 @@
+"""Cooperative cancellation: the per-thread cancel registry and deadlines.
+
+Every blocking wait the runtime simulates — store service latency, injected
+latency spikes, hedge delays — goes through :func:`interruptible_sleep`,
+which honors the *cancel event* published for the current thread.  The
+registry is the one vocabulary shared by every cancellation source:
+
+* **LIMIT / early exit**: the engine shuts its Exchange workers down, each
+  worker's cancel event fires, in-flight simulated waits abort;
+* **hedged requests**: the first winner sets the shared cancel event so the
+  loser stops at its next cancellable wait;
+* **sibling failure**: fail-fast propagation cancels the doomed execution's
+  remaining store requests;
+* **query deadlines** (the serving layer): a :class:`Deadline` arms a timer
+  that fires the execution's cancel event when the budget elapses, so an
+  overrunning query stops issuing (and stops waiting on) store requests
+  instead of holding its service slot.
+
+This module is deliberately dependency-free so that both the runtime
+(:mod:`repro.runtime.parallel`, which re-exports it) and the store substrate
+(:mod:`repro.stores.base`) can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = [
+    "set_current_cancel",
+    "current_cancel_event",
+    "interruptible_sleep",
+    "Deadline",
+]
+
+_cancel_registry = threading.local()
+
+
+def set_current_cancel(event: threading.Event | None) -> None:
+    """Publish (or clear) the cancel event governing the current thread."""
+    _cancel_registry.event = event
+
+
+def current_cancel_event() -> threading.Event | None:
+    """The cancel event governing the current thread, if any."""
+    return getattr(_cancel_registry, "event", None)
+
+
+def interruptible_sleep(seconds: float, event: threading.Event | None = None) -> bool:
+    """Sleep up to ``seconds``, waking early when the cancel event fires.
+
+    ``event`` defaults to the current thread's published cancel event.
+    Returns True when the full duration elapsed, False when cancelled early.
+    Used by the simulated stores' latency waits so hedged losers, cancelled
+    Exchange workers and deadline-expired queries stop blocking as soon as
+    they lose.
+    """
+    if seconds <= 0.0:
+        return True
+    if event is None:
+        event = current_cancel_event()
+    if event is None:
+        time.sleep(seconds)
+        return True
+    return not event.wait(timeout=seconds)
+
+
+class Deadline:
+    """An armed per-query time budget backed by the cancel registry.
+
+    The deadline owns a cancel :class:`threading.Event` and a daemon timer
+    that sets it when the budget elapses; callers additionally register
+    *listeners* (one per Exchange worker cancel event) so a firing deadline
+    wakes waits on every thread of the execution, not just the one that
+    armed it.  :meth:`expired` is the authoritative check — it consults the
+    clock as well as the event, so a consumer that slept past the budget
+    notices even if the timer thread has not run yet.
+    """
+
+    __slots__ = ("seconds", "_expires_at", "event", "_timer", "_listeners", "_lock")
+
+    def __init__(self, seconds: float) -> None:
+        self.seconds = max(0.0, float(seconds))
+        self._expires_at = time.monotonic() + self.seconds
+        self.event = threading.Event()
+        self._listeners: list[threading.Event] = []
+        self._lock = threading.Lock()
+        self._timer = threading.Timer(self.seconds, self._fire)
+        self._timer.daemon = True
+
+    def start(self) -> "Deadline":
+        """Arm the timer (no-op budget 0 fires immediately)."""
+        if self.seconds <= 0.0:
+            self._fire()
+        else:
+            self._timer.start()
+        return self
+
+    def _fire(self) -> None:
+        self.event.set()
+        with self._lock:
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener.set()
+
+    def add_listener(self, event: threading.Event) -> None:
+        """Also set ``event`` when the deadline fires (fires it now if late)."""
+        with self._lock:
+            self._listeners.append(event)
+            fired = self.event.is_set()
+        if fired:
+            event.set()
+
+    def remaining(self) -> float:
+        """Seconds left in the budget (0.0 once expired)."""
+        return max(0.0, self._expires_at - time.monotonic())
+
+    def expired(self) -> bool:
+        """Whether the budget has elapsed (event *or* clock)."""
+        return self.event.is_set() or time.monotonic() >= self._expires_at
+
+    def cancel(self) -> None:
+        """Disarm the timer (the query finished within its budget)."""
+        self._timer.cancel()

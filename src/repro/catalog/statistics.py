@@ -27,6 +27,7 @@ from repro.errors import CatalogError
 __all__ = [
     "FragmentStatistics",
     "StatisticsCatalog",
+    "TenantUsage",
     "OBSERVATION_SMOOTHING",
     "ReplicaStatistics",
     "ReplicaHealthBoard",
@@ -241,6 +242,47 @@ class FragmentStatistics:
         return 1.0 / max(self.distinct(column), 1)
 
 
+@dataclass(slots=True)
+class TenantUsage:
+    """Per-tenant serving counters maintained by the query service.
+
+    ``queue_seconds`` / ``engine_seconds`` accumulate each completed query's
+    time-in-queue (submission → dispatch) and time-in-engine (dispatch →
+    result), so the ratio shows whether a tenant's latency is queueing or
+    work.  ``shed_queue_full`` and ``shed_rate_limited`` count fast-rejected
+    submissions; ``timed_out`` counts queries whose deadline expired (queued
+    or mid-stream).
+    """
+
+    tenant: str
+    submitted: int = 0
+    admitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    timed_out: int = 0
+    shed_queue_full: int = 0
+    shed_rate_limited: int = 0
+    rows_returned: int = 0
+    queue_seconds: float = 0.0
+    engine_seconds: float = 0.0
+
+    def describe(self) -> Mapping[str, object]:
+        """JSON-friendly counters."""
+        return {
+            "tenant": self.tenant,
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "timed_out": self.timed_out,
+            "shed_queue_full": self.shed_queue_full,
+            "shed_rate_limited": self.shed_rate_limited,
+            "rows_returned": self.rows_returned,
+            "queue_seconds": self.queue_seconds,
+            "engine_seconds": self.engine_seconds,
+        }
+
+
 class StatisticsCatalog:
     """Collects fragment statistics lazily and caches them."""
 
@@ -249,6 +291,50 @@ class StatisticsCatalog:
         self._cache: dict[str, FragmentStatistics] = {}
         self._observed: dict[str, float] = {}
         self._shard_observed: dict[str, dict[int, float]] = {}
+        self._tenant_lock = threading.Lock()
+        self._tenants: dict[str, TenantUsage] = {}
+
+    # -- per-tenant serving counters -------------------------------------------------
+    def tenant(self, name: str) -> TenantUsage:
+        """The tenant's usage record, created on first touch (thread-safe)."""
+        with self._tenant_lock:
+            usage = self._tenants.get(name)
+            if usage is None:
+                usage = TenantUsage(tenant=name)
+                self._tenants[name] = usage
+            return usage
+
+    def record_tenant_event(self, name: str, event: str, count: int = 1) -> None:
+        """Bump one tenant counter (``submitted``, ``shed_queue_full``, ...)."""
+        usage = self.tenant(name)
+        with self._tenant_lock:
+            setattr(usage, event, getattr(usage, event) + count)
+
+    def record_tenant_query(
+        self,
+        name: str,
+        outcome: str,
+        queue_seconds: float = 0.0,
+        engine_seconds: float = 0.0,
+        rows: int = 0,
+    ) -> None:
+        """Fold one finished query into the tenant's counters.
+
+        ``outcome`` is ``completed``, ``failed`` or ``timed_out``; the
+        queue/engine split accumulates regardless, so shed load still shows
+        its queueing cost.
+        """
+        usage = self.tenant(name)
+        with self._tenant_lock:
+            setattr(usage, outcome, getattr(usage, outcome) + 1)
+            usage.queue_seconds += max(0.0, queue_seconds)
+            usage.engine_seconds += max(0.0, engine_seconds)
+            usage.rows_returned += max(0, rows)
+
+    def tenant_usage(self) -> Mapping[str, Mapping[str, object]]:
+        """JSON-friendly snapshot of every tenant's serving counters."""
+        with self._tenant_lock:
+            return {name: usage.describe() for name, usage in sorted(self._tenants.items())}
 
     def invalidate(self, fragment: str | None = None) -> None:
         """Drop cached statistics and observations (one fragment or all)."""

@@ -146,6 +146,51 @@ class ExecutionError(ReproError):
     """The runtime engine failed while evaluating a plan."""
 
 
+class DeadlineExceededError(ExecutionError):
+    """The query's time budget elapsed before the result was complete.
+
+    Raised both for queries whose deadline expires while queued in the
+    serving layer and for queries cancelled mid-stream by the engine's
+    deadline timer; in either case the query's service slot is released and
+    its in-flight store requests are cancelled cooperatively.
+    """
+
+    def __init__(self, message: str, deadline_seconds: float | None = None) -> None:
+        super().__init__(message)
+        self.deadline_seconds = deadline_seconds
+
+
+# ---------------------------------------------------------------------------
+# Query service (admission control)
+# ---------------------------------------------------------------------------
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the multi-tenant query service."""
+
+
+class OverloadedError(ServiceError):
+    """The service fast-rejected a submission instead of queueing it.
+
+    ``reason`` is ``"queue_full"`` (the tenant's bounded queue is at
+    capacity — backpressure) or ``"rate_limited"`` (the tenant's token
+    bucket is empty — quota).  Shedding at submission keeps rejection cheap
+    and latency bounded; callers should back off and retry.
+    """
+
+    def __init__(self, message: str, tenant: str = "", reason: str = "") -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.reason = reason
+
+
+class ServiceClosedError(ServiceError):
+    """The query service has been shut down and accepts no new submissions."""
+
+
+class UnknownTenantError(ServiceError):
+    """The submission names a tenant the service was not configured with."""
+
+
 # ---------------------------------------------------------------------------
 # Cost model / advisor
 # ---------------------------------------------------------------------------

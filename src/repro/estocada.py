@@ -16,6 +16,8 @@ Most applications only ever touch this class.
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -57,7 +59,27 @@ from repro.stores.replicated import ReplicatedStore, ReplicationPolicy
 from repro.stores.sharded import ShardedStore
 from repro.translation.planner import Planner
 
-__all__ = ["Explanation", "PlanCache", "Estocada"]
+__all__ = [
+    "Explanation",
+    "PlanCache",
+    "NamespacedPlanCache",
+    "DEFAULT_CACHE_NAMESPACE",
+    "Estocada",
+]
+
+
+def service_routing_enabled() -> bool:
+    """Whether ``REPRO_SERVICE=1`` routes facade queries through a QueryService.
+
+    With the switch on, every :meth:`Estocada.query` call from application
+    code is submitted to a lazily created ambient
+    :class:`~repro.service.QueryService` bound to the facade (admission
+    control with a permissive policy, the shared worker pool, tenant
+    namespaces) instead of executing inline — the CI tier-1 run uses this to
+    exercise the whole suite through the serving layer.  Calls made *by* the
+    service's own workers always execute directly.
+    """
+    return os.environ.get("REPRO_SERVICE", "0") == "1"
 
 
 @dataclass(slots=True)
@@ -194,6 +216,106 @@ class PlanCache:
         }
 
 
+DEFAULT_CACHE_NAMESPACE = ""
+"""The namespace direct (non-tenant) queries plan under."""
+
+
+class NamespacedPlanCache:
+    """Per-tenant :class:`PlanCache` instances behind one facade-level API.
+
+    Each namespace owns a *separate* LRU with its own capacity, so one
+    tenant's query churn can evict only its own entries — a noisy tenant
+    cycling through thousands of ad-hoc shapes cannot push another tenant's
+    hot plans out of cache.  Invalidation (fragment drift, catalog
+    mutations) spans every namespace: the underlying catalog is shared, so a
+    stale plan is stale for everyone.
+
+    All methods are thread-safe with respect to namespace creation; the
+    per-namespace caches themselves are guarded by the facade's planning
+    lock (plan lookup and insertion happen inside it).
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        self._default_capacity = max(0, capacity)
+        self._lock = threading.Lock()
+        self._namespaces: dict[str, PlanCache] = {}
+
+    def namespace(self, name: str = DEFAULT_CACHE_NAMESPACE) -> PlanCache:
+        """The namespace's cache, created at the default capacity on first use."""
+        with self._lock:
+            cache = self._namespaces.get(name)
+            if cache is None:
+                cache = PlanCache(self._default_capacity)
+                self._namespaces[name] = cache
+            return cache
+
+    def configure(self, name: str, capacity: int) -> PlanCache:
+        """(Re)create ``name``'s cache with an explicit capacity (entries drop)."""
+        with self._lock:
+            cache = PlanCache(capacity)
+            self._namespaces[name] = cache
+            return cache
+
+    def _snapshot(self) -> list[PlanCache]:
+        with self._lock:
+            return list(self._namespaces.values())
+
+    def get(self, key: tuple, namespace: str = DEFAULT_CACHE_NAMESPACE):
+        return self.namespace(namespace).get(key)
+
+    def put(
+        self,
+        key: tuple,
+        explanation: "Explanation",
+        relations: Iterable[str] = (),
+        namespace: str = DEFAULT_CACHE_NAMESPACE,
+    ) -> None:
+        self.namespace(namespace).put(key, explanation, relations)
+
+    def clear(self) -> None:
+        """Drop every entry in every namespace (counters are preserved)."""
+        for cache in self._snapshot():
+            cache.clear()
+
+    def invalidate_fragment(self, fragment: str) -> int:
+        """Drop stale entries across all namespaces (shared catalog drifted)."""
+        return sum(cache.invalidate_fragment(fragment) for cache in self._snapshot())
+
+    def invalidate_relations(self, relations: Iterable[str]) -> int:
+        """Scoped catalog-mutation invalidation across all namespaces."""
+        touched = frozenset(relations)
+        return sum(cache.invalidate_relations(touched) for cache in self._snapshot())
+
+    def __len__(self) -> int:
+        return sum(len(cache) for cache in self._snapshot())
+
+    def stats(self) -> Mapping[str, object]:
+        """Aggregate counters plus the per-namespace breakdown.
+
+        The top-level keys keep the historical single-cache shape (summed
+        over namespaces); ``namespaces`` maps each namespace name to its own
+        counters so per-tenant hit rates are visible.
+        """
+        with self._lock:
+            per_namespace = {name: cache.stats() for name, cache in self._namespaces.items()}
+        aggregate: dict[str, object] = {
+            "entries": sum(s["entries"] for s in per_namespace.values()),
+            "capacity": max(
+                (s["capacity"] for s in per_namespace.values()),
+                default=self._default_capacity,
+            ),
+            "hits": sum(s["hits"] for s in per_namespace.values()),
+            "misses": sum(s["misses"] for s in per_namespace.values()),
+            "evictions": sum(s["evictions"] for s in per_namespace.values()),
+            "invalidations": sum(s["invalidations"] for s in per_namespace.values()),
+            "scoped_invalidations": sum(
+                s["scoped_invalidations"] for s in per_namespace.values()
+            ),
+        }
+        aggregate["namespaces"] = per_namespace
+        return aggregate
+
+
 class Estocada:
     """The hybrid-store mediator: register stores, datasets and fragments, then query."""
 
@@ -215,8 +337,14 @@ class Estocada:
         self._chase_config = chase_config or ChaseConfig()
         self._relational_schemas: dict[str, RelationalSchema] = {}
         self._document_collections: dict[str, tuple[str, ...]] = {}
-        self._plan_cache = PlanCache(plan_cache_size)
+        self._plan_cache = NamespacedPlanCache(plan_cache_size)
         self._drift_threshold = max(0.0, drift_threshold)
+        # Serializes the rewrite-and-plan phase (rewriter, memos, plan cache
+        # bookkeeping) when concurrent service workers share this facade;
+        # execution itself runs outside the lock and overlaps freely.
+        self._planning_lock = threading.RLock()
+        # The ambient QueryService used by REPRO_SERVICE=1 routing.
+        self._ambient_service = None
         # The rewriter persists across queries so its signature index and the
         # constraint-set identity behind the chase/containment memo keys are
         # reused; fragment registration updates it incrementally, and any
@@ -406,10 +534,11 @@ class Estocada:
         relations are invalidated; the persistent rewriter's signature index
         is updated in place instead of being rebuilt.
         """
-        self._manager.register_fragment(descriptor)
-        if self._rewriter_instance is not None and self._rewriter_version == self._manager.version - 1:
-            self._rewriter_instance.add_view(self._manager.resolved_view(descriptor))
-            self._rewriter_version = self._manager.version
+        with self._planning_lock:
+            self._manager.register_fragment(descriptor)
+            if self._rewriter_instance is not None and self._rewriter_version == self._manager.version - 1:
+                self._rewriter_instance.add_view(self._manager.resolved_view(descriptor))
+                self._rewriter_version = self._manager.version
         if rows is not None:
             store = self._manager.store(descriptor.store)
             materialize_fragment(store, descriptor, rows, indexes=indexes, partitions=partitions)
@@ -421,21 +550,59 @@ class Estocada:
 
         Invalidation is scoped like :meth:`register_fragment`'s."""
         self._statistics.invalidate(name)
-        descriptor = self._manager.drop_fragment(name)
-        if self._rewriter_instance is not None and self._rewriter_version == self._manager.version - 1:
-            self._rewriter_instance.remove_view(descriptor.view.name)
-            self._rewriter_version = self._manager.version
+        with self._planning_lock:
+            descriptor = self._manager.drop_fragment(name)
+            if self._rewriter_instance is not None and self._rewriter_version == self._manager.version - 1:
+                self._rewriter_instance.remove_view(descriptor.view.name)
+                self._rewriter_version = self._manager.version
         self._plan_cache.invalidate_relations(self._manager.fragment_relations(descriptor))
         return descriptor
 
     # -- plan cache --------------------------------------------------------------------
-    def cache_stats(self) -> Mapping[str, int]:
-        """Hit/miss/eviction counters and occupancy of the rewrite/plan cache."""
+    def cache_stats(self) -> Mapping[str, object]:
+        """Hit/miss/eviction counters and occupancy of the rewrite/plan cache.
+
+        The top-level counters aggregate every namespace; the ``namespaces``
+        key breaks them down per tenant namespace (plus the default ``""``
+        namespace direct queries plan under).
+        """
         return self._plan_cache.stats()
 
     def clear_plan_cache(self) -> None:
-        """Drop every cached rewrite/plan entry (counters are preserved)."""
+        """Drop every cached rewrite/plan entry, in every namespace.
+
+        Counters are preserved.  Note that the core rewriting engine keeps
+        its *own* memo caches (containment verdicts, chase results,
+        homomorphism searches) which this does not touch — a repeated query
+        will re-run the PACB pipeline but replay memoized verdicts.  Use
+        :meth:`clear_caches` for a genuinely cold measurement.
+        """
         self._plan_cache.clear()
+
+    def clear_caches(self) -> None:
+        """Drop every plan-cache entry *and* the core rewrite memos.
+
+        After this call the next query is genuinely cold: the PACB pipeline
+        re-chases and re-verifies containment from scratch instead of
+        replaying memoized verdicts, and the persistent rewriter (whose
+        constraint-set identities anchor the memo keys) is rebuilt.
+        """
+        from repro.core import clear_memos
+
+        with self._planning_lock:
+            self._plan_cache.clear()
+            clear_memos()
+            self._rewriter_instance = None
+            self._rewriter_version = -1
+
+    def configure_tenant_cache(self, tenant: str, capacity: int) -> None:
+        """Give ``tenant``'s plan-cache namespace an explicit LRU capacity.
+
+        Called by the query service when a tenant's policy sets
+        ``plan_cache_entries``; any cached entries in the namespace drop.
+        """
+        with self._planning_lock:
+            self._plan_cache.configure(tenant, capacity)
 
     def _plan_cache_key(
         self, pivot_query: ConjunctiveQuery, bound_parameters: Sequence[Variable]
@@ -509,6 +676,10 @@ class Estocada:
             return None
 
     def _rewriter(self) -> Rewriter:
+        with self._planning_lock:
+            return self._rewriter_locked()
+
+    def _rewriter_locked(self) -> Rewriter:
         version = self._manager.version
         if self._rewriter_instance is None or self._rewriter_version != version:
             self._rewriter_instance = Rewriter(
@@ -574,22 +745,55 @@ class Estocada:
         dataset: str | None = None,
         bound_parameters: Sequence[Variable] = (),
         parallelism: int | None = None,
+        tenant: str | None = None,
+        deadline_seconds: float | None = None,
     ) -> QueryResult:
         """Answer a query over the registered fragments (demo step 3).
 
         ``query`` may be a pivot conjunctive query, SQL text (``dataset`` must
         name a relational dataset), or a :class:`DocumentQuery`.
         ``parallelism`` overrides the instance-wide executor width for this
-        query (1 forces serial execution).
+        query (1 forces serial execution).  ``tenant`` selects the plan-cache
+        namespace the query plans under (the serving layer passes each
+        session's tenant so cache churn stays isolated); ``deadline_seconds``
+        bounds the execution wall clock — an overrunning query cancels its
+        store requests cooperatively and raises
+        :class:`~repro.errors.DeadlineExceededError`.
         """
+        if service_routing_enabled():
+            from repro.service import in_service_worker
+
+            if not in_service_worker():
+                ambient = self._ambient_service
+                if ambient is None:
+                    from repro.service import QueryService, TenantPolicy
+
+                    ambient = QueryService(
+                        self,
+                        workers=2,
+                        default_policy=TenantPolicy(
+                            max_concurrent=8, queue_depth=100_000
+                        ),
+                    )
+                    self._ambient_service = ambient
+                return ambient.execute(
+                    query,
+                    dataset=dataset,
+                    bound_parameters=bound_parameters,
+                    parallelism=parallelism,
+                    tenant=tenant or "default",
+                    deadline_seconds=deadline_seconds,
+                ).result
+        namespace = tenant if tenant is not None else DEFAULT_CACHE_NAMESPACE
         pivot_query, output_names, residual, aggregation, extras = self._to_pivot(query, dataset)
-        cache_key, reachable = self._plan_cache_key(pivot_query, bound_parameters)
-        explanation = self._plan_cache.get(cache_key)
-        cache_hit = explanation is not None
-        if explanation is None:
-            explanation = self._explain_pivot(pivot_query, bound_parameters)
-            if explanation.chosen is not None:
-                self._plan_cache.put(cache_key, explanation, reachable)
+        with self._planning_lock:
+            cache_key, reachable = self._plan_cache_key(pivot_query, bound_parameters)
+            explanation = self._plan_cache.get(cache_key, namespace)
+            cache_hit = explanation is not None
+            if explanation is None:
+                explanation = self._explain_pivot(pivot_query, bound_parameters)
+                if explanation.chosen is not None:
+                    self._plan_cache.put(cache_key, explanation, reachable, namespace)
         if explanation.chosen is None:
             raise NoRewritingFoundError(
                 f"query {pivot_query.name!r} cannot be answered from the registered fragments: "
@@ -597,7 +801,9 @@ class Estocada:
             )
         root: Operator = explanation.chosen.plan.root
         root = self._apply_residual(root, pivot_query, output_names, residual, aggregation, extras)
-        result = self._engine.execute(root, parallelism=parallelism)
+        result = self._engine.execute(
+            root, parallelism=parallelism, deadline_seconds=deadline_seconds
+        )
         result.cache_hit = cache_hit
         sharding_note = ""
         if result.shards_contacted or result.shards_pruned:
@@ -632,21 +838,22 @@ class Estocada:
         past the threshold, cached plans that relied on it are invalidated so
         the next query re-plans against the refreshed statistics.
         """
-        for fragment, observed_rows in result.observed_cardinalities.items():
-            drift = self._cost_model.record_observation(fragment, observed_rows)
-            if drift is not None and drift > self._drift_threshold:
-                self._plan_cache.invalidate_fragment(fragment)
-        # Per-shard observations from sharded fan-out scans: a shard whose
-        # row count drifted re-prices the pruning / fan-out trade-off, so
-        # cached plans over the fragment are dropped and re-planned against
-        # the refreshed per-shard statistics.
-        for fragment, per_shard in result.observed_shard_cardinalities.items():
-            for shard, observed_rows in per_shard.items():
-                drift = self._statistics.record_shard_observation(
-                    fragment, shard, observed_rows
-                )
+        with self._planning_lock:
+            for fragment, observed_rows in result.observed_cardinalities.items():
+                drift = self._cost_model.record_observation(fragment, observed_rows)
                 if drift is not None and drift > self._drift_threshold:
                     self._plan_cache.invalidate_fragment(fragment)
+            # Per-shard observations from sharded fan-out scans: a shard whose
+            # row count drifted re-prices the pruning / fan-out trade-off, so
+            # cached plans over the fragment are dropped and re-planned against
+            # the refreshed per-shard statistics.
+            for fragment, per_shard in result.observed_shard_cardinalities.items():
+                for shard, observed_rows in per_shard.items():
+                    drift = self._statistics.record_shard_observation(
+                        fragment, shard, observed_rows
+                    )
+                    if drift is not None and drift > self._drift_threshold:
+                        self._plan_cache.invalidate_fragment(fragment)
 
     # -- helpers ---------------------------------------------------------------------------------
     def _to_pivot(

@@ -20,10 +20,13 @@ identical to the pre-parallel engine.  The default width comes from the
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.cancellation import Deadline, current_cancel_event, set_current_cancel
+from repro.errors import DeadlineExceededError
 from repro.runtime.batch import compiled_enabled, default_batch_size, fusion_enabled
 from repro.runtime.operators import ExecutionContext, Operator
 from repro.runtime.parallel import Exchange, ExecutorPool
@@ -172,6 +175,7 @@ class ExecutionEngine:
             default_parallelism() if parallelism is None else max(1, parallelism)
         )
         self._pools: dict[int, ExecutorPool] = {}
+        self._pools_lock = threading.Lock()
 
     @property
     def parallelism(self) -> int:
@@ -184,17 +188,23 @@ class ExecutionEngine:
         return self._batch_size
 
     def _pool(self, width: int) -> ExecutorPool:
-        pool = self._pools.get(width)
-        if pool is None:
-            pool = ExecutorPool(width)
-            self._pools[width] = pool
-        return pool
+        # Concurrent queries (the serving layer's workers) share one pool per
+        # width instead of creating their own — intra-query Exchange fan-out
+        # and cross-query concurrency draw from the same bounded thread set.
+        with self._pools_lock:
+            pool = self._pools.get(width)
+            if pool is None:
+                pool = ExecutorPool(width)
+                self._pools[width] = pool
+            return pool
 
     def close(self) -> None:
         """Shut down every executor pool this engine created."""
-        for pool in self._pools.values():
+        with self._pools_lock:
+            pools = list(self._pools.values())
+            self._pools.clear()
+        for pool in pools:
             pool.close()
-        self._pools.clear()
 
     @staticmethod
     def _prestart_exchanges(plan: Operator, context: ExecutionContext) -> None:
@@ -212,25 +222,75 @@ class ExecutionEngine:
         parameters: Mapping[str, object] | None = None,
         batch_size: int | None = None,
         parallelism: int | None = None,
+        deadline_seconds: float | None = None,
     ) -> QueryResult:
-        """Run ``plan`` and return its result with the performance breakdown."""
+        """Run ``plan`` and return its result with the performance breakdown.
+
+        ``deadline_seconds`` bounds the execution's wall clock: when the
+        budget elapses a :class:`~repro.cancellation.Deadline` timer fires
+        the execution's cancel events — every Exchange worker and the
+        consumer thread stop issuing store requests, in-flight simulated
+        store waits wake immediately — and the query surfaces a typed
+        :class:`~repro.errors.DeadlineExceededError` instead of a partial
+        result.
+        """
         width = self._parallelism if parallelism is None else max(1, parallelism)
         context = ExecutionContext(
             parameters=dict(parameters or {}),
             batch_size=batch_size or self._batch_size,
         )
+        deadline: Deadline | None = None
+        previous_cancel = None
+        if deadline_seconds is not None:
+            deadline = Deadline(deadline_seconds)
+            context.deadline = deadline
         if width > 1:
             context.pool = self._pool(width)
         started = time.perf_counter()
         rows: list[Binding] = []
         batch_count = 0
         try:
-            if context.pool is not None:
-                self._prestart_exchanges(plan, context)
-            for batch in plan.batches(context):
-                batch_count += 1
-                rows.extend(batch.iter_bindings())
+            if deadline is not None:
+                # Publish the deadline's cancel event on the consumer thread
+                # too: serial store waits and bind-join probes running here
+                # wake the moment the timer fires (Exchange workers register
+                # their own cancel events as deadline listeners).
+                previous_cancel = current_cancel_event()
+                set_current_cancel(deadline.event)
+                deadline.start()
+            try:
+                if context.pool is not None:
+                    self._prestart_exchanges(plan, context)
+                for batch in plan.batches(context):
+                    batch_count += 1
+                    rows.extend(batch.iter_bindings())
+                    if deadline is not None and deadline.expired():
+                        raise DeadlineExceededError(
+                            f"query exceeded its {deadline.seconds:.3f}s deadline "
+                            f"after {batch_count} batches",
+                            deadline_seconds=deadline.seconds,
+                        )
+            except DeadlineExceededError:
+                raise
+            except BaseException as error:
+                if deadline is not None and deadline.expired():
+                    # A cancelled store wait often surfaces as a transient
+                    # store error; once the budget has elapsed the *cause* is
+                    # the deadline, so that is what callers see (typed).
+                    raise DeadlineExceededError(
+                        f"query exceeded its {deadline.seconds:.3f}s deadline",
+                        deadline_seconds=deadline.seconds,
+                    ) from error
+                raise
+            if deadline is not None and deadline.expired():
+                raise DeadlineExceededError(
+                    f"query exceeded its {deadline.seconds:.3f}s deadline",
+                    deadline_seconds=deadline.seconds,
+                )
         finally:
+            if deadline is not None:
+                deadline.cancel()
+                set_current_cancel(previous_cancel)
             # Normal completion, LIMIT early-exit and errors all funnel here:
             # cancel every Exchange worker and wait until each has closed its
             # child pipeline (finalizing store streams) and merged metrics.

@@ -142,6 +142,7 @@ class ExecutionContext:
     store_results: list[tuple[str, StoreMetrics]] = field(default_factory=list)
     runtime_rows_processed: int = 0
     pool: object | None = None
+    deadline: object | None = None
     tracker: ConcurrencyTracker = field(default_factory=ConcurrencyTracker)
     failure: FailureSignal = field(default_factory=FailureSignal)
     observations: list[tuple[str, int | None, int]] = field(default_factory=list)
@@ -189,6 +190,7 @@ class ExecutionContext:
             batch_size=self.batch_size,
             tracker=self.tracker,
             failure=self.failure,
+            deadline=self.deadline,
         )
 
     def merge_child(self, child: "ExecutionContext") -> None:

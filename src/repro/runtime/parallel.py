@@ -50,24 +50,36 @@ cooperative-cancellation vocabulary:
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 import time
+import weakref
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Sequence, TypeVar
 
+from repro.cancellation import (
+    Deadline,
+    current_cancel_event,
+    interruptible_sleep,
+    set_current_cancel,
+)
 from repro.runtime.batch import RowBatch
 from repro.runtime.operators import ExecutionContext, Operator
 
 __all__ = [
     "DEFAULT_QUEUE_DEPTH",
+    "DEFAULT_WORKER_BUDGET",
     "ExecutorPool",
     "Exchange",
     "ExchangeState",
     "AttemptReport",
     "HedgeOutcome",
     "run_hedged",
+    "worker_budget",
+    "active_pool_workers",
+    "Deadline",
     "set_current_cancel",
     "current_cancel_event",
     "interruptible_sleep",
@@ -75,39 +87,47 @@ __all__ = [
 
 DEFAULT_QUEUE_DEPTH = 8
 
+DEFAULT_WORKER_BUDGET = 64
+"""Process-wide cap on ExecutorPool worker threads (``REPRO_WORKER_BUDGET``)."""
+
 _SENTINEL = object()
 
 _T = TypeVar("_T")
 
-_cancel_registry = threading.local()
+_budget_lock = threading.Lock()
+_active_pool_workers = 0
 
 
-def set_current_cancel(event: threading.Event | None) -> None:
-    """Publish (or clear) the cancel event governing the current thread."""
-    _cancel_registry.event = event
+def worker_budget() -> int:
+    """The process-wide Exchange worker-thread budget.
 
-
-def current_cancel_event() -> threading.Event | None:
-    """The cancel event governing the current thread, if any."""
-    return getattr(_cancel_registry, "event", None)
-
-
-def interruptible_sleep(seconds: float, event: threading.Event | None = None) -> bool:
-    """Sleep up to ``seconds``, waking early when the cancel event fires.
-
-    ``event`` defaults to the current thread's published cancel event.
-    Returns True when the full duration elapsed, False when cancelled early.
-    Used by the simulated stores' latency waits so hedged losers and
-    cancelled Exchange workers stop blocking as soon as they lose.
+    Nested parallel deployments multiply thread demand: a sharded store of
+    replicated children fanning out under several concurrent queries would,
+    with unbounded per-engine pools, create ``queries x shards x width``
+    threads.  Every :class:`ExecutorPool` draws its workers from this shared
+    budget instead (``REPRO_WORKER_BUDGET``, default 64): a pool created when
+    the budget is nearly exhausted is granted fewer threads (at least one),
+    and consumers fall back to inline execution via the Exchange
+    steal-and-run path — execution degrades to less overlap, never to
+    unbounded thread creation.
     """
-    if seconds <= 0.0:
-        return True
-    if event is None:
-        event = current_cancel_event()
-    if event is None:
-        time.sleep(seconds)
-        return True
-    return not event.wait(timeout=seconds)
+    raw = os.environ.get("REPRO_WORKER_BUDGET", "").strip()
+    try:
+        return max(1, int(raw)) if raw else DEFAULT_WORKER_BUDGET
+    except ValueError:
+        return DEFAULT_WORKER_BUDGET
+
+
+def active_pool_workers() -> int:
+    """Worker threads currently granted to live :class:`ExecutorPool` instances."""
+    with _budget_lock:
+        return _active_pool_workers
+
+
+def _release_grant(granted: int) -> None:
+    global _active_pool_workers
+    with _budget_lock:
+        _active_pool_workers -= granted
 
 
 # -- hedged requests ----------------------------------------------------------------
@@ -252,24 +272,46 @@ class ExecutorPool:
     ``width`` bounds how many child pipelines run concurrently; excess
     Exchanges wait in the pool's queue until a slot frees up (or are stolen
     and run inline by the consumer, see :meth:`ExchangeState.drain`).
+
+    The requested width is additionally clamped against the *process-wide*
+    worker budget (:func:`worker_budget`): pools draw their grant from one
+    shared pot and return it on :meth:`close`, so stacking parallel layers
+    (service workers x sharded fan-out x replicated children) cannot
+    multiply threads past the budget.  ``requested_width`` records what the
+    caller asked for; :attr:`width` is what the budget granted.
     """
 
     def __init__(self, width: int) -> None:
-        self.width = max(1, int(width))
+        global _active_pool_workers
+        self.requested_width = max(1, int(width))
+        with _budget_lock:
+            available = worker_budget() - _active_pool_workers
+            self.width = max(1, min(self.requested_width, available))
+            _active_pool_workers += self.width
+        self._granted = self.width
         self._executor = ThreadPoolExecutor(
             max_workers=self.width, thread_name_prefix="repro-exchange"
         )
+        # The grant returns when the pool is garbage collected, not only on
+        # an explicit close(): an abandoned engine's idle pool threads exit
+        # once the executor is unreachable (ThreadPoolExecutor's weakref
+        # machinery), so its workers must flow back into the shared pot too
+        # or leaked pools would permanently drain the budget.
+        self._return_grant = weakref.finalize(self, _release_grant, self._granted)
 
     def submit(self, fn, *args) -> Future:
         """Schedule ``fn`` on a worker thread."""
         return self._executor.submit(fn, *args)
 
     def close(self) -> None:
-        """Shut the pool down (idle workers exit; running tasks finish)."""
+        """Shut the pool down and return its workers to the shared budget."""
         self._executor.shutdown(wait=True, cancel_futures=True)
+        # Calling a finalizer detaches it: the grant is returned exactly once
+        # whether close() runs zero, one, or many times before collection.
+        self._return_grant()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"<ExecutorPool width={self.width}>"
+        return f"<ExecutorPool width={self.width} requested={self.requested_width}>"
 
 
 class ExchangeState:
@@ -302,6 +344,11 @@ class ExchangeState:
         self._sub = context.spawn()
         self._queue: queue.Queue = queue.Queue(maxsize=max(1, queue_depth))
         self._cancel = threading.Event()
+        if context.deadline is not None:
+            # A firing deadline cancels this worker too: its published cancel
+            # event wakes any in-flight simulated store wait, and the batch
+            # loop stops issuing further store requests.
+            context.deadline.add_listener(self._cancel)
         self._done = threading.Event()
         self._future: Future | None = None
         self._error: BaseException | None = None

@@ -1,0 +1,33 @@
+"""Multi-tenant admission-controlled serving layer over the Estocada facade.
+
+See :mod:`repro.service.service` for the worker-pool front-end and
+:mod:`repro.service.admission` for the per-tenant quota machinery.
+"""
+
+from repro.service.admission import (
+    DEFAULT_PRIORITY,
+    AdmissionController,
+    TenantPolicy,
+    TenantState,
+    TokenBucket,
+)
+from repro.service.service import (
+    DEFAULT_SERVICE_WORKERS,
+    QueryService,
+    QueryTicket,
+    ServiceResult,
+    in_service_worker,
+)
+
+__all__ = [
+    "AdmissionController",
+    "DEFAULT_PRIORITY",
+    "DEFAULT_SERVICE_WORKERS",
+    "QueryService",
+    "QueryTicket",
+    "ServiceResult",
+    "TenantPolicy",
+    "TenantState",
+    "TokenBucket",
+    "in_service_worker",
+]

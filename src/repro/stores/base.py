@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import StoreError, UnsupportedOperationError
+from repro.cancellation import interruptible_sleep
 
 __all__ = [
     "StoreCapabilities",
@@ -319,9 +320,10 @@ class StoreResultStream(_MetricsStream):
         self._claim()
         try:
             started = time.perf_counter()
-            latency = self._store.simulated_latency
-            if latency > 0.0:
-                time.sleep(latency)
+            # Interruptible: a cancelled execution (LIMIT early-exit, hedged
+            # loser, expired deadline) wakes from the simulated service wait
+            # immediately instead of sleeping through it.
+            interruptible_sleep(self._store.simulated_latency)
             rows_iter, self._base_metrics = self._store._execute_stream(self._request)
             self._elapsed += time.perf_counter() - started
             while True:
@@ -375,9 +377,7 @@ class StoreBatchStream(_MetricsStream):
         batches_iter = None
         try:
             started = time.perf_counter()
-            latency = self._store.simulated_latency
-            if latency > 0.0:
-                time.sleep(latency)
+            interruptible_sleep(self._store.simulated_latency)
             batches_iter, self._base_metrics = self._store._execute_batches(
                 self._request, self._columns, self._batch_size
             )
@@ -497,8 +497,7 @@ class Store:
     def execute(self, request: StoreRequest) -> StoreResult:
         """Execute a request, recording timing and cumulative metrics."""
         started = time.perf_counter()
-        if self._latency > 0.0:
-            time.sleep(self._latency)
+        interruptible_sleep(self._latency)
         result = self._execute(request)
         result.metrics.elapsed_seconds = time.perf_counter() - started
         result.metrics.rows_returned = len(result.rows)

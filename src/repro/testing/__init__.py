@@ -1,10 +1,20 @@
-"""Deterministic fault injection for chaos testing and resilience benchmarks.
+"""Deterministic fault injection and load generation for resilience benchmarks.
 
-This is *product* code, not test scaffolding: the benchmarks drive it to
-measure tail latency under injected stragglers, and operators can wrap any
-store with it to rehearse failure drills against a deployment.
+This is *product* code, not test scaffolding: the benchmarks drive the
+:class:`FaultInjector` to measure tail latency under injected stragglers and
+the :class:`OpenLoopDriver` to measure QPS/tail-latency under offered load,
+and operators can use both to rehearse failure and overload drills against a
+deployment.
 """
 
 from repro.testing.faults import FaultInjector, FaultProfile
+from repro.testing.workload import LoadReport, OpenLoopDriver, WorkloadQuery, percentile
 
-__all__ = ["FaultInjector", "FaultProfile"]
+__all__ = [
+    "FaultInjector",
+    "FaultProfile",
+    "LoadReport",
+    "OpenLoopDriver",
+    "WorkloadQuery",
+    "percentile",
+]

@@ -584,3 +584,98 @@ class TestChaosDifferential:
         # The backup's win is credited on the health board.
         health = est.replication_configuration()["reppg"]["health"]
         assert sum(entry["hedges_won"] for entry in health) > 0
+
+
+# -- the service profile -------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def service_configurations(configurations):
+    """Each deployment wrapped in a QueryService; workers torn down at the end."""
+    from repro.service import QueryService, TenantPolicy
+
+    services = {
+        name: QueryService(
+            est,
+            workers=2,
+            default_policy=TenantPolicy(max_concurrent=2, queue_depth=64),
+        )
+        for name, (est, _parallelism) in configurations.items()
+    }
+    try:
+        yield services
+    finally:
+        for service in services.values():
+            service.close()
+
+
+class TestServiceDifferential:
+    """Serving through admission control never changes an answer.
+
+    The service adds queueing, priority dispatch, per-tenant plan-cache
+    namespaces and deadline plumbing between the caller and the facade — all
+    of which must be invisible in the result bag, for every deployment shape
+    and under chaos faults.
+    """
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(case=sql_queries())
+    def test_service_results_match_direct_execution(
+        self, configurations, service_configurations, case
+    ):
+        sql, limit = case
+        for name, (est, parallelism) in configurations.items():
+            service = service_configurations[name]
+            direct = est.query(sql, dataset="shop", parallelism=parallelism)
+            served = service.execute(
+                sql, dataset="shop", parallelism=parallelism, tenant="diff"
+            )
+            if limit is None:
+                assert _bag(served.rows) == _bag(direct.rows), (
+                    f"service diverged from direct execution on {name} for {sql!r}"
+                )
+            else:
+                # LIMIT answers are any-k: compare cardinality + containment.
+                full_sql = sql[: sql.rindex(" LIMIT ")]
+                full = _bag(est.query(full_sql, dataset="shop", parallelism=1).rows)
+                assert len(served.rows) == len(direct.rows)
+                got = _bag(served.rows)
+                assert all(got[key] <= full[key] for key in got), (
+                    f"service returned rows outside the full answer on {name} for {sql!r}"
+                )
+
+    def test_service_results_match_baseline_under_chaos(self, chaos_configurations):
+        from repro.service import QueryService, TenantPolicy
+
+        queries = [
+            "SELECT uid, name FROM users WHERE city = 'paris'",
+            "SELECT uid, sku, category FROM purchases WHERE uid = 17",
+            (
+                "SELECT p.sku, v.duration_ms FROM purchases p, visits v "
+                "WHERE p.uid = v.uid AND p.sku = v.sku"
+            ),
+            "SELECT category, COUNT(sku) AS n FROM purchases GROUP BY category",
+        ]
+        reference_est, _ = chaos_configurations["baseline"]
+        expected = {
+            sql: _bag(reference_est.query(sql, dataset="shop", parallelism=1).rows)
+            for sql in queries
+        }
+        for name, (est, parallelism) in chaos_configurations.items():
+            service = QueryService(
+                est, workers=2, default_policy=TenantPolicy(max_concurrent=2, queue_depth=32)
+            )
+            try:
+                for sql in queries:
+                    served = service.execute(
+                        sql, dataset="shop", parallelism=parallelism, tenant="chaos"
+                    )
+                    assert _bag(served.rows) == expected[sql], (
+                        f"service over {name} diverged on {sql!r} (seed {CHAOS_SEED})"
+                    )
+            finally:
+                service.close()

@@ -494,3 +494,157 @@ class TestFacadeSurface:
         for future in blockers:
             future.result(timeout=5)
         pool.close()
+
+
+class TestDeadlines:
+    """Per-query deadlines ride the cooperative-cancellation machinery."""
+
+    def test_serial_overrun_raises_typed_error_promptly(self):
+        import time
+
+        from repro.errors import DeadlineExceededError
+
+        store = _slow_store(latency=0.5)
+        engine = ExecutionEngine(parallelism=1)
+        started = time.perf_counter()
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            engine.execute(_scan_plan(store), deadline_seconds=0.05)
+        elapsed = time.perf_counter() - started
+        assert excinfo.value.deadline_seconds == 0.05
+        # The store's 0.5 s simulated latency was interrupted, not served out.
+        assert elapsed < 0.4
+
+    def test_parallel_overrun_cancels_exchange_workers_and_store_requests(self):
+        import time
+
+        from repro.errors import DeadlineExceededError
+
+        store = _slow_store(latency=0.5, rows=256)
+        engine = ExecutionEngine(parallelism=4)
+        baseline_threads = threading.active_count()
+        started = time.perf_counter()
+        try:
+            with pytest.raises(DeadlineExceededError):
+                engine.execute(Exchange(_scan_plan(store)), deadline_seconds=0.05)
+            elapsed = time.perf_counter() - started
+            assert elapsed < 0.4
+            # Workers were joined on the way out; only the width-4 pool's idle
+            # threads may outlive the query.
+            assert threading.active_count() <= baseline_threads + 4
+        finally:
+            engine.close()
+
+    def test_deadline_mid_stream_releases_service_queue_slot(self):
+        from repro.errors import DeadlineExceededError
+        from repro.estocada import Estocada
+        from repro.catalog import AccessMethod, StorageDescriptor, StorageLayout
+        from repro.core import ViewDefinition
+        from repro.datamodel import TableSchema
+        from repro.service import QueryService, TenantPolicy
+
+        est = Estocada()
+        est.register_store("pg", RelationalStore("pg", latency=0.3))
+        est.register_relational_dataset("d", [TableSchema("t", ("a", "b"))])
+        est.register_fragment(
+            StorageDescriptor(
+                "F_t", "d", "pg",
+                ViewDefinition(
+                    "F_t",
+                    ConjunctiveQuery("F_t", ["?a", "?b"], [Atom("t", ["?a", "?b"])]),
+                    column_names=("a", "b"),
+                ),
+                StorageLayout("t"), AccessMethod("scan"),
+            ),
+            rows=[{"a": i, "b": i * 2} for i in range(8)],
+        )
+        sql = "SELECT a, b FROM t"
+        service = QueryService(
+            est, workers=2, default_policy=TenantPolicy(max_concurrent=1, queue_depth=4)
+        )
+        try:
+            doomed = service.submit(sql, dataset="d", tenant="x", deadline_seconds=0.03)
+            follow_up = service.submit(sql, dataset="d", tenant="x")
+            with pytest.raises(DeadlineExceededError):
+                doomed.result(timeout=5)
+            # The expired query released its concurrency slot: the queued
+            # follow-up (same tenant, max_concurrent=1) runs to completion.
+            assert len(follow_up.result(timeout=5).rows) == 8
+        finally:
+            service.close()
+
+    def test_generous_deadline_leaves_results_untouched(self):
+        store = _slow_store(latency=0.0)
+        engine = ExecutionEngine(parallelism=1)
+        bounded = engine.execute(_scan_plan(store), deadline_seconds=30.0)
+        unbounded = engine.execute(_scan_plan(store))
+        assert _bag(bounded.rows) == _bag(unbounded.rows)
+
+    def test_deadline_object_lifecycle(self):
+        from repro.cancellation import Deadline
+
+        deadline = Deadline(30.0)
+        deadline.start()
+        try:
+            assert not deadline.expired()
+            assert 0 < deadline.remaining() <= 30.0
+        finally:
+            deadline.cancel()
+        listener = threading.Event()
+        expired = Deadline(0.0)
+        expired.start()
+        expired.add_listener(listener)
+        # A listener registered after the fact is signalled immediately.
+        assert listener.wait(timeout=1)
+        assert expired.expired()
+        assert expired.remaining() == 0.0
+
+
+class TestWorkerBudget:
+    """ExecutorPool grants draw from one process-wide worker pot."""
+
+    def test_grants_are_clamped_and_returned(self, monkeypatch):
+        from repro.runtime import active_pool_workers, worker_budget
+
+        monkeypatch.setenv("REPRO_WORKER_BUDGET", "4")
+        baseline = active_pool_workers()
+        assert worker_budget() == 4
+        first = ExecutorPool(3)
+        second = ExecutorPool(3)
+        try:
+            assert first.width == min(3, max(1, 4 - baseline))
+            # The pot is (nearly) drained: the second pool is clamped far
+            # below its request instead of oversubscribing the process.
+            assert second.requested_width == 3
+            assert first.width + second.width <= max(4, baseline + 2)
+            assert second.width < 3 or baseline == 0 and first.width < 3
+        finally:
+            first.close()
+            second.close()
+        assert active_pool_workers() == baseline
+        # close() is idempotent: the grant is returned exactly once.
+        first.close()
+        assert active_pool_workers() == baseline
+
+    def test_exhausted_budget_still_grants_one_worker(self, monkeypatch):
+        from repro.runtime import active_pool_workers
+
+        monkeypatch.setenv("REPRO_WORKER_BUDGET", "1")
+        pools = [ExecutorPool(4) for _ in range(3)]
+        try:
+            # Every pool makes progress (width >= 1) even with the pot empty.
+            assert all(pool.width >= 1 for pool in pools)
+            assert sum(pool.width for pool in pools) <= 3
+        finally:
+            for pool in pools:
+                pool.close()
+
+    def test_nested_parallel_queries_stay_correct_under_tiny_budget(
+        self, monkeypatch, marketplace_builder, marketplace_data
+    ):
+        monkeypatch.setenv("REPRO_WORKER_BUDGET", "2")
+        est = marketplace_builder(marketplace_data)
+        sql = "SELECT uid FROM users WHERE city = 'paris'"
+        expected = _bag(est.query(sql, dataset="shop", parallelism=1).rows)
+        # A wide plan over a starved pool falls back to consumer-side
+        # steal-and-run instead of deadlocking or dropping batches.
+        assert _bag(est.query(sql, dataset="shop", parallelism=8).rows) == expected
