@@ -259,6 +259,10 @@ class _HypotheticalStatistics:
             return self._overlay[fragment]
         return self._base.get(fragment)
 
+    def fragment_staleness(self, fragment: str):
+        # Hypothetical candidates are freshly materialized by definition.
+        return self._base.fragment_staleness(fragment)
+
 
 class _HypotheticalPlanner:
     """Builds delegation groups treating hypothetical views as ordinary atoms.

@@ -97,6 +97,16 @@ class StorageDescriptorManager:
         for relation in relations:
             self._relation_epochs[relation] = self._epoch_clock
 
+    def note_data_write(self, relations: Iterable[str]) -> None:
+        """Record a *data* change to ``relations`` (DML, not DDL).
+
+        Bumps only the touched relations' epochs so cached plans that read
+        them re-validate, without bumping :attr:`version` — the set of
+        fragments and views is unchanged, so the rewriter's view index stays
+        valid and queries over untouched relations keep their cached plans.
+        """
+        self._bump_relations(relations)
+
     # -- stores ---------------------------------------------------------------------
     def register_store(self, name: str, store: Store) -> None:
         """Register a store under ``name``."""

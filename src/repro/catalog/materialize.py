@@ -135,6 +135,7 @@ def materialize_fragment(
         key_columns = list(descriptor.access.key_columns) or [view_columns[0]]
         key_store_column = descriptor.layout.store_column(key_columns[0])
         store.create_collection(collection)
+        store.set_key_column(collection, key_store_column)
         entries: dict[object, object] = {}
         for row in store_rows:
             key = row.get(key_store_column)

@@ -26,6 +26,7 @@ from repro.errors import CatalogError
 
 __all__ = [
     "FragmentStatistics",
+    "FragmentStaleness",
     "StatisticsCatalog",
     "TenantUsage",
     "OBSERVATION_SMOOTHING",
@@ -242,6 +243,47 @@ class FragmentStatistics:
         return 1.0 / max(self.distinct(column), 1)
 
 
+@dataclass(frozen=True, slots=True)
+class FragmentStaleness:
+    """How far one materialized fragment lags behind its base relations.
+
+    ``pending_deltas`` counts the write-time view deltas queued but not yet
+    applied to the fragment; ``pending_rows`` the total signed-row volume of
+    those deltas (the work maintenance will do); ``age`` the number of global
+    writes that have happened since the fragment's oldest pending delta was
+    logged (0 when fresh).  The cost model prices ``pending_rows``, and the
+    facade's ``max_staleness`` query knob bounds ``pending_deltas``.
+    """
+
+    fragment: str
+    pending_deltas: int = 0
+    pending_rows: int = 0
+    first_pending_seq: int | None = None
+    latest_seq: int = 0
+
+    @property
+    def fresh(self) -> bool:
+        """Whether the fragment has no maintenance backlog."""
+        return self.pending_deltas == 0
+
+    @property
+    def age(self) -> int:
+        """Writes elapsed since the oldest pending delta (0 when fresh)."""
+        if self.first_pending_seq is None:
+            return 0
+        return max(0, self.latest_seq - self.first_pending_seq + 1)
+
+    def describe(self) -> Mapping[str, object]:
+        """JSON-friendly snapshot."""
+        return {
+            "fragment": self.fragment,
+            "fresh": self.fresh,
+            "pending_deltas": self.pending_deltas,
+            "pending_rows": self.pending_rows,
+            "age": self.age,
+        }
+
+
 @dataclass(slots=True)
 class TenantUsage:
     """Per-tenant serving counters maintained by the query service.
@@ -293,6 +335,56 @@ class StatisticsCatalog:
         self._shard_observed: dict[str, dict[int, float]] = {}
         self._tenant_lock = threading.Lock()
         self._tenants: dict[str, TenantUsage] = {}
+        self._staleness_lock = threading.Lock()
+        self._pending_deltas: dict[str, int] = {}
+        self._pending_rows: dict[str, int] = {}
+        self._first_pending: dict[str, int] = {}
+        self._latest_write_seq = 0
+
+    # -- fragment staleness accounting ------------------------------------------------
+    def note_write_seq(self, seq: int) -> None:
+        """Advance the global write clock (ages every stale fragment)."""
+        with self._staleness_lock:
+            if seq > self._latest_write_seq:
+                self._latest_write_seq = seq
+
+    def note_pending_delta(self, fragment: str, rows: int, seq: int) -> None:
+        """Record one logged-but-unapplied view delta against ``fragment``.
+
+        ``rows`` is the delta's signed-row volume (inserts + deletes) — the
+        work maintenance will do; ``seq`` the global write sequence number of
+        the write that produced it.
+        """
+        with self._staleness_lock:
+            self._pending_deltas[fragment] = self._pending_deltas.get(fragment, 0) + 1
+            self._pending_rows[fragment] = self._pending_rows.get(fragment, 0) + max(0, rows)
+            self._first_pending.setdefault(fragment, seq)
+            if seq > self._latest_write_seq:
+                self._latest_write_seq = seq
+
+    def clear_staleness(self, fragment: str) -> None:
+        """Mark ``fragment`` fully maintained (its backlog was applied)."""
+        with self._staleness_lock:
+            self._pending_deltas.pop(fragment, None)
+            self._pending_rows.pop(fragment, None)
+            self._first_pending.pop(fragment, None)
+
+    def fragment_staleness(self, fragment: str) -> FragmentStaleness:
+        """The fragment's current maintenance backlog (fresh when untracked)."""
+        with self._staleness_lock:
+            return FragmentStaleness(
+                fragment=fragment,
+                pending_deltas=self._pending_deltas.get(fragment, 0),
+                pending_rows=self._pending_rows.get(fragment, 0),
+                first_pending_seq=self._first_pending.get(fragment),
+                latest_seq=self._latest_write_seq,
+            )
+
+    def staleness_snapshot(self) -> Mapping[str, Mapping[str, object]]:
+        """JSON-friendly staleness of every fragment with a backlog."""
+        with self._staleness_lock:
+            fragments = sorted(self._pending_deltas)
+        return {name: self.fragment_staleness(name).describe() for name in fragments}
 
     # -- per-tenant serving counters -------------------------------------------------
     def tenant(self, name: str) -> TenantUsage:
@@ -342,10 +434,17 @@ class StatisticsCatalog:
             self._cache.clear()
             self._observed.clear()
             self._shard_observed.clear()
+            with self._staleness_lock:
+                self._pending_deltas.clear()
+                self._pending_rows.clear()
+                self._first_pending.clear()
         else:
             self._cache.pop(fragment, None)
             self._observed.pop(fragment, None)
             self._shard_observed.pop(fragment, None)
+            # A re-materialized fragment starts fresh: its backlog (if any)
+            # was subsumed by the rebuild.
+            self.clear_staleness(fragment)
 
     # -- the runtime feedback loop --------------------------------------------------
     def observed_cardinality(self, fragment: str) -> float | None:

@@ -230,6 +230,22 @@ class CostModel:
         """The cardinality the planner currently assumes for ``fragment``."""
         return self._statistics.get(fragment).cardinality
 
+    # -- staleness pricing -------------------------------------------------------------
+    def staleness_cost(self, fragment: str, profile: StoreCostProfile) -> float:
+        """Cost penalty for serving from a fragment with a maintenance backlog.
+
+        A stale fragment either forces maintenance before the read or returns
+        slightly old data; both are worth avoiding when a fresh copy exists,
+        so each access is charged the backlog's pending row volume at the
+        store's scan rate (roughly the work of catching the fragment up).
+        Fresh fragments pay nothing, so the penalty only reorders plans when
+        copies genuinely differ in staleness.
+        """
+        staleness = self._statistics.fragment_staleness(fragment)
+        if staleness.fresh:
+            return 0.0
+        return staleness.pending_rows * profile.scan_row_cost + staleness.age * 0.1
+
     # -- replica selection --------------------------------------------------------------
     def request_latency_seconds(self, store, profile: StoreCostProfile) -> float:
         """Per-request latency charged for ``store`` under ``profile``.
@@ -269,6 +285,7 @@ class CostModel:
         stats = self._statistics.get(access.descriptor.fragment_name)
         profile = self.profile_for(access.store.capabilities().data_model)
         estimate = self._estimator.atom_estimate(access)
+        staleness_penalty = self.staleness_cost(access.descriptor.fragment_name, profile)
 
         probe_columns = [
             column
@@ -306,7 +323,7 @@ class CostModel:
                 profile.lookup_cost + profile.request_overhead * 0.1 + per_probe_latency
             )
             output = left_rows * max(per_probe_rows, 0.0)
-            return cost, output
+            return cost + staleness_penalty, output
 
         if constant_on_key and requires_key:
             # A constant pins the lookup key: a single point access.
@@ -318,7 +335,7 @@ class CostModel:
             if left_rows:
                 cost += self.runtime_row_cost() * (left_rows + output)
                 output = left_rows * output
-            return cost, output
+            return cost + staleness_penalty, output
 
         # Delegated scan (possibly index-assisted on a constant).
         scanned = stats.cardinality
@@ -340,7 +357,7 @@ class CostModel:
             output = left_rows * estimate.estimated_rows * join_selectivity
         else:
             output = estimate.estimated_rows
-        return scan_cost, output
+        return scan_cost + staleness_penalty, output
 
     def _sharded_scan_cost(
         self,

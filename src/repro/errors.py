@@ -115,6 +115,55 @@ class KeyNotFoundError(StoreError):
 
 
 # ---------------------------------------------------------------------------
+# Write path / fragment maintenance
+# ---------------------------------------------------------------------------
+
+class WriteError(ReproError):
+    """A DML operation (insert/update/delete) could not be applied."""
+
+
+class PartialWriteError(WriteError):
+    """A fan-out write failed on some children after succeeding on others.
+
+    The writer attempts to roll the successful children back by applying the
+    inverse delta; ``rolled_back`` records whether that undo itself succeeded
+    (when it did not, the named children may hold the write while the others
+    do not — the fragment is marked stale so readers never trust it silently).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        failed_children: tuple[str, ...] = (),
+        rolled_back: bool = True,
+    ) -> None:
+        super().__init__(message)
+        self.failed_children = failed_children
+        self.rolled_back = rolled_back
+
+
+class DeltaError(ReproError):
+    """A delta could not be applied or propagated (e.g. deleting a missing row)."""
+
+
+class MaintenanceError(ReproError):
+    """Incremental fragment maintenance failed."""
+
+
+class MaintenanceCancelledError(MaintenanceError):
+    """A maintenance pass was cancelled before draining every pending delta.
+
+    Fragments whose deltas were fully applied are fresh; the rest keep their
+    pending deltas and stay *detectably* stale (never silently wrong).
+    """
+
+
+class StaleFragmentError(MaintenanceError):
+    """No plan satisfies the query's ``max_staleness`` bound and the stale
+    fragments cannot be maintained (e.g. their store is down)."""
+
+
+# ---------------------------------------------------------------------------
 # Query languages
 # ---------------------------------------------------------------------------
 

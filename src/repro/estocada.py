@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.catalog.descriptors import StorageDescriptor
+from repro.catalog.maintenance import MaintenanceEngine
 from repro.catalog.manager import DatasetInfo, StorageDescriptorManager
 from repro.catalog.materialize import materialize_fragment
 from repro.catalog.statistics import StatisticsCatalog
@@ -36,7 +37,9 @@ from repro.cost.chooser import PlanChooser, RankedPlan
 from repro.cost.cost_model import CostModel, StoreCostProfile
 from repro.datamodel.relational import RelationalSchema, TableSchema
 from repro.errors import (
+    MaintenanceError,
     NoRewritingFoundError,
+    StaleFragmentError,
     TranslationError,
     UnknownFragmentError,
     UnknownStoreError,
@@ -337,6 +340,8 @@ class Estocada:
         self._chase_config = chase_config or ChaseConfig()
         self._relational_schemas: dict[str, RelationalSchema] = {}
         self._document_collections: dict[str, tuple[str, ...]] = {}
+        self._maintenance = MaintenanceEngine(self._manager, self._statistics)
+        self._write_policy = "eager"
         self._plan_cache = NamespacedPlanCache(plan_cache_size)
         self._drift_threshold = max(0.0, drift_threshold)
         # Serializes the rewrite-and-plan phase (rewriter, memos, plan cache
@@ -539,9 +544,18 @@ class Estocada:
             if self._rewriter_instance is not None and self._rewriter_version == self._manager.version - 1:
                 self._rewriter_instance.add_view(self._manager.resolved_view(descriptor))
                 self._rewriter_version = self._manager.version
+        if rows is None and all(
+            self._maintenance.has_relation(relation)
+            for relation in descriptor.view.definition.relations()
+        ):
+            # Every base relation is shadowed by the maintenance engine:
+            # materialize from its bag-semantics state, so the store contents
+            # agree exactly with what the delta rules will maintain.
+            rows = self._maintenance.compute_fragment_rows(descriptor)
         if rows is not None:
             store = self._manager.store(descriptor.store)
             materialize_fragment(store, descriptor, rows, indexes=indexes, partitions=partitions)
+        self._maintenance.watch_fragment(descriptor)
         self._statistics.invalidate(descriptor.fragment_name)
         self._plan_cache.invalidate_relations(self._manager.fragment_relations(descriptor))
 
@@ -549,6 +563,7 @@ class Estocada:
         """Unregister a fragment descriptor (data stays in the store).
 
         Invalidation is scoped like :meth:`register_fragment`'s."""
+        self._maintenance.unwatch_fragment(name)
         self._statistics.invalidate(name)
         with self._planning_lock:
             descriptor = self._manager.drop_fragment(name)
@@ -557,6 +572,162 @@ class Estocada:
                 self._rewriter_version = self._manager.version
         self._plan_cache.invalidate_relations(self._manager.fragment_relations(descriptor))
         return descriptor
+
+    # -- the write path ----------------------------------------------------------------
+    @property
+    def maintenance(self) -> MaintenanceEngine:
+        """The fragment maintenance engine behind the DML methods."""
+        return self._maintenance
+
+    @property
+    def write_policy(self) -> str:
+        """``"eager"`` (maintain affected fragments at write time) or ``"deferred"``."""
+        return self._write_policy
+
+    def set_write_policy(self, policy: str) -> None:
+        """Choose when pending deltas are applied.
+
+        ``"eager"`` (the default) maintains every affected fragment inside
+        the write call, so reads never see stale fragments; ``"deferred"``
+        only logs the deltas — fragments stay (detectably) stale until
+        :meth:`maintain` runs or a read's ``max_staleness`` bound forces it.
+        """
+        if policy not in {"eager", "deferred"}:
+            raise MaintenanceError(f"unknown write policy {policy!r}")
+        self._write_policy = policy
+
+    def load_relation(
+        self,
+        relation: str,
+        rows: Sequence[Mapping[str, object]] = (),
+        columns: Sequence[str] | None = None,
+        dataset: str | None = None,
+    ) -> None:
+        """Declare ``relation`` writable, seeding its maintenance shadow.
+
+        The engine keeps a bag-semantics shadow of every writable relation to
+        push writes through fragment definitions; ``rows`` is the relation's
+        current (already materialized) content.  The column order comes from
+        ``columns``, the registered relational schema of ``dataset`` (or any
+        dataset declaring the table), or the first row's keys.
+        """
+        if columns is None:
+            for name, schema in self._relational_schemas.items():
+                if dataset is not None and name != dataset:
+                    continue
+                if relation in schema:
+                    columns = schema.table(relation).columns
+                    break
+        rows = [dict(row) for row in rows]
+        if columns is None:
+            if not rows:
+                raise MaintenanceError(
+                    f"relation {relation!r} is not in a registered relational schema; "
+                    "pass columns= (or non-empty rows) to declare its column order"
+                )
+            columns = tuple(rows[0])
+        self._maintenance.register_relation(relation, columns, rows)
+
+    def insert(
+        self,
+        relation: str,
+        rows: Mapping[str, object] | Sequence[Mapping[str, object]],
+        cancel: "threading.Event | None" = None,
+    ) -> int:
+        """Insert rows into a writable base relation (see :meth:`_write`)."""
+        return self._write(relation, inserts=rows, cancel=cancel)
+
+    def delete(
+        self,
+        relation: str,
+        rows: Mapping[str, object] | Sequence[Mapping[str, object]],
+        cancel: "threading.Event | None" = None,
+    ) -> int:
+        """Delete exact rows from a writable base relation (strict bag match)."""
+        return self._write(relation, deletes=rows, cancel=cancel)
+
+    def update(
+        self,
+        relation: str,
+        before: Mapping[str, object] | Sequence[Mapping[str, object]],
+        after: Mapping[str, object] | Sequence[Mapping[str, object]],
+        cancel: "threading.Event | None" = None,
+    ) -> int:
+        """Replace ``before`` rows with ``after`` rows (a delete plus an insert)."""
+        return self._write(relation, inserts=after, deletes=before, cancel=cancel)
+
+    @staticmethod
+    def _normalize_rows(
+        rows: Mapping[str, object] | Sequence[Mapping[str, object]],
+    ) -> list[Mapping[str, object]]:
+        if isinstance(rows, Mapping):
+            return [rows]
+        return list(rows)
+
+    def _write(
+        self,
+        relation: str,
+        inserts: Mapping[str, object] | Sequence[Mapping[str, object]] = (),
+        deletes: Mapping[str, object] | Sequence[Mapping[str, object]] = (),
+        cancel: "threading.Event | None" = None,
+    ) -> int:
+        """One DML statement: log fragment deltas, then (eagerly) maintain.
+
+        The write lands in the maintenance engine's base shadow first (a
+        delete of an absent row is refused outright with
+        :class:`~repro.errors.DeltaError`), each affected fragment's view
+        delta is logged, and — since the fragments' *contents* are about to
+        change — the catalog bumps exactly the touched relations' epochs, so
+        only cached plans that can see them re-validate.  Under the eager
+        policy the deltas are applied before returning; a store failure
+        during application (e.g. a crashed replica mid-fan-out) propagates as
+        its typed error with the delta still safely queued — the fragment is
+        detectably stale, never silently wrong.  Returns the write's global
+        sequence number.
+        """
+        inserts = self._normalize_rows(inserts)
+        deletes = self._normalize_rows(deletes)
+        seq, affected = self._maintenance.apply_write(
+            relation, inserts=inserts, deletes=deletes
+        )
+        with self._planning_lock:
+            self._manager.note_data_write({relation, *affected})
+        if self._write_policy == "eager" and affected:
+            for fragment in affected:
+                self.maintain(fragment, cancel=cancel)
+        return seq
+
+    def maintain(
+        self, fragment: str | None = None, cancel: "threading.Event | None" = None
+    ) -> int:
+        """Apply pending deltas (one fragment, or every stale one).
+
+        Returns the number of store rows written.  Fragments that become
+        fresh get their epochs bumped (their contents changed), even when a
+        later fragment's application fails or is cancelled.
+        """
+        engine = self._maintenance
+        targets = (fragment,) if fragment is not None else engine.stale_fragments()
+        try:
+            return engine.maintain(fragment, cancel=cancel)
+        finally:
+            freshened = [name for name in targets if not engine.pending(name)]
+            if freshened:
+                with self._planning_lock:
+                    self._manager.note_data_write(freshened)
+
+    def staleness(self, fragment: str | None = None):
+        """One fragment's :class:`FragmentStaleness`, or every backlog's snapshot."""
+        if fragment is not None:
+            return self._statistics.fragment_staleness(fragment)
+        return self._statistics.staleness_snapshot()
+
+    def describe_writes(self) -> Mapping[str, object]:
+        """JSON-friendly write-path state (policy, shadows, backlogs)."""
+        description = dict(self._maintenance.describe())
+        description["policy"] = self._write_policy
+        description["staleness"] = self._statistics.staleness_snapshot()
+        return description
 
     # -- plan cache --------------------------------------------------------------------
     def cache_stats(self) -> Mapping[str, object]:
@@ -747,6 +918,7 @@ class Estocada:
         parallelism: int | None = None,
         tenant: str | None = None,
         deadline_seconds: float | None = None,
+        max_staleness: int | None = None,
     ) -> QueryResult:
         """Answer a query over the registered fragments (demo step 3).
 
@@ -759,8 +931,16 @@ class Estocada:
         bounds the execution wall clock — an overrunning query cancels its
         store requests cooperatively and raises
         :class:`~repro.errors.DeadlineExceededError`.
+
+        ``max_staleness`` bounds how many pending maintenance deltas a
+        fragment serving this read may carry: the ranked plans are searched
+        for one within the bound, and when none qualifies the cheapest plan's
+        stale fragments are maintained synchronously first (``0`` therefore
+        reads exactly the written state — fresh-fragment fallback when one
+        exists, forced maintenance otherwise).  Staleness-bounded queries
+        always execute inline, never through ``REPRO_SERVICE`` routing.
         """
-        if service_routing_enabled():
+        if max_staleness is None and service_routing_enabled():
             from repro.service import in_service_worker
 
             if not in_service_worker():
@@ -799,7 +979,10 @@ class Estocada:
                 f"query {pivot_query.name!r} cannot be answered from the registered fragments: "
                 + "; ".join(explanation.notes)
             )
-        root: Operator = explanation.chosen.plan.root
+        selected = explanation.chosen
+        if max_staleness is not None:
+            selected = self._select_for_staleness(explanation, max_staleness)
+        root: Operator = selected.plan.root
         root = self._apply_residual(root, pivot_query, output_names, residual, aggregation, extras)
         result = self._engine.execute(
             root, parallelism=parallelism, deadline_seconds=deadline_seconds
@@ -828,6 +1011,58 @@ class Estocada:
         )
         self._absorb_observations(result)
         return result
+
+    def _plan_fragments(self, ranked: RankedPlan) -> frozenset[str]:
+        """Every fragment a ranked plan's delegated accesses touch."""
+        return frozenset(
+            access.descriptor.fragment_name
+            for group in ranked.plan.groups
+            for access in group.accesses
+        )
+
+    def _select_for_staleness(self, explanation: Explanation, bound: int) -> RankedPlan:
+        """The best plan within the staleness bound, maintaining if none is.
+
+        Scans the explanation's ranked plans (cheapest first) for one whose
+        fragments all carry at most ``bound`` pending deltas — a fresh copy
+        of the data beats forced maintenance.  When every plan is over the
+        bound, the cheapest plan's stale fragments are maintained
+        synchronously; an unmaintainable stale fragment (its base relations
+        are not shadowed) raises :class:`~repro.errors.StaleFragmentError`
+        rather than serving data known to be wrong.
+        """
+        bound = max(0, bound)
+
+        def worst(ranked: RankedPlan) -> int:
+            return max(
+                (
+                    self._statistics.fragment_staleness(name).pending_deltas
+                    for name in self._plan_fragments(ranked)
+                ),
+                default=0,
+            )
+
+        for ranked in explanation.ranked_plans:
+            if worst(ranked) <= bound:
+                return ranked
+        chosen = explanation.chosen
+        assert chosen is not None
+        stale = sorted(
+            name
+            for name in self._plan_fragments(chosen)
+            if self._statistics.fragment_staleness(name).pending_deltas > bound
+        )
+        unmanaged = [
+            name for name in stale if name not in self._maintenance.watched_fragments()
+        ]
+        if unmanaged:
+            raise StaleFragmentError(
+                f"fragments {unmanaged!r} exceed max_staleness={bound} and are not "
+                "under incremental maintenance (re-register them to refresh)"
+            )
+        for name in stale:
+            self.maintain(name)
+        return chosen
 
     def _absorb_observations(self, result: QueryResult) -> None:
         """Close the runtime → planner loop with the query's observed cardinalities.

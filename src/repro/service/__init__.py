@@ -16,6 +16,7 @@ from repro.service.service import (
     QueryService,
     QueryTicket,
     ServiceResult,
+    WriteResult,
     in_service_worker,
 )
 
@@ -29,5 +30,6 @@ __all__ = [
     "TenantPolicy",
     "TenantState",
     "TokenBucket",
+    "WriteResult",
     "in_service_worker",
 ]

@@ -45,6 +45,7 @@ __all__ = [
     "QueryService",
     "QueryTicket",
     "ServiceResult",
+    "WriteResult",
     "in_service_worker",
     "DEFAULT_SERVICE_WORKERS",
 ]
@@ -117,6 +118,21 @@ class ServiceResult:
 
     def __len__(self) -> int:
         return len(self.result.rows)
+
+
+@dataclass(slots=True)
+class WriteResult:
+    """Outcome of one admitted DML statement.
+
+    ``seq`` is the facade's global write sequence number; ``rows`` stays
+    empty (writes return no result set) so the ticket plumbing — which
+    counts ``len(result.rows)`` — treats queries and writes uniformly.
+    """
+
+    seq: int
+    relation: str
+    operation: str
+    rows: tuple = ()
 
 
 class QueryTicket:
@@ -256,6 +272,59 @@ class QueryService:
         or queue quota is exhausted — *before* any queue insertion or
         planning work, so shedding is cheap.
         """
+        return self._admit_and_enqueue(
+            {
+                "query": query,
+                "dataset": dataset,
+                "bound_parameters": bound_parameters,
+                "parallelism": parallelism,
+            },
+            tenant=tenant,
+            deadline_seconds=deadline_seconds,
+            priority=priority,
+        )
+
+    def submit_write(
+        self,
+        relation: str,
+        *,
+        inserts: Sequence = (),
+        deletes: Sequence = (),
+        tenant: str = "default",
+        deadline_seconds: float | None = None,
+        priority: int | None = None,
+    ) -> QueryTicket:
+        """Admit one DML statement under the tenant's quotas.
+
+        Writes share the tenant's rate limit, queue depth and concurrency
+        budget with its queries — a tenant flooding writes is shed exactly
+        like one flooding reads.  The ticket resolves to a
+        :class:`ServiceResult` wrapping a :class:`WriteResult`; the facade's
+        write policy decides whether fragment maintenance happens inside the
+        dispatched call (eager) or is left pending (deferred).
+        """
+        operation = "update" if (inserts and deletes) else ("delete" if deletes else "insert")
+        return self._admit_and_enqueue(
+            {
+                "write": {
+                    "relation": relation,
+                    "operation": operation,
+                    "inserts": list(inserts),
+                    "deletes": list(deletes),
+                }
+            },
+            tenant=tenant,
+            deadline_seconds=deadline_seconds,
+            priority=priority,
+        )
+
+    def _admit_and_enqueue(
+        self,
+        request: dict[str, Any],
+        tenant: str,
+        deadline_seconds: float | None,
+        priority: int | None,
+    ) -> QueryTicket:
         if self._closed:
             raise ServiceClosedError("query service is closed")
         stats = self._facade.statistics
@@ -278,12 +347,7 @@ class QueryService:
             seq=next(self._seq),
             tenant=tenant,
             priority=priority if priority is not None else policy.priority,
-            request={
-                "query": query,
-                "dataset": dataset,
-                "bound_parameters": bound_parameters,
-                "parallelism": parallelism,
-            },
+            request=request,
             deadline_seconds=effective_deadline,
         )
         with self._cond:
@@ -297,6 +361,10 @@ class QueryService:
     def execute(self, query, **kwargs) -> ServiceResult:
         """Submit and block for the result (admission errors raise immediately)."""
         return self.submit(query, **kwargs).result()
+
+    def execute_write(self, relation: str, **kwargs) -> ServiceResult:
+        """Submit a write and block for its outcome (see :meth:`submit_write`)."""
+        return self.submit_write(relation, **kwargs).result()
 
     # -- scheduling --------------------------------------------------------------------
     def _next_runnable_locked(self) -> QueryTicket | None:
@@ -352,14 +420,17 @@ class QueryService:
         _worker_local.active = True
         try:
             request = ticket.request
-            result = self._facade.query(
-                request["query"],
-                dataset=request["dataset"],
-                bound_parameters=request["bound_parameters"],
-                parallelism=request["parallelism"],
-                tenant=ticket.tenant,
-                deadline_seconds=remaining,
-            )
+            if "write" in request:
+                result = self._run_write(request["write"])
+            else:
+                result = self._facade.query(
+                    request["query"],
+                    dataset=request["dataset"],
+                    bound_parameters=request["bound_parameters"],
+                    parallelism=request["parallelism"],
+                    tenant=ticket.tenant,
+                    deadline_seconds=remaining,
+                )
         except DeadlineExceededError as error:
             engine_seconds = time.monotonic() - ticket.dispatched_at
             stats.record_tenant_query(
@@ -400,6 +471,18 @@ class QueryService:
             )
         finally:
             _worker_local.active = False
+
+    def _run_write(self, write: Mapping[str, Any]) -> WriteResult:
+        """Execute one admitted DML statement against the facade."""
+        operation = write["operation"]
+        relation = write["relation"]
+        if operation == "update":
+            seq = self._facade.update(relation, write["deletes"], write["inserts"])
+        elif operation == "delete":
+            seq = self._facade.delete(relation, write["deletes"])
+        else:
+            seq = self._facade.insert(relation, write["inserts"])
+        return WriteResult(seq=seq, relation=relation, operation=operation)
 
     # -- introspection -----------------------------------------------------------------
     def queue_depth(self) -> int:

@@ -493,6 +493,34 @@ class Store:
         tuples = (tuple(row.get(column) for column in columns) for row in rows_iter)
         return batch_tuples(tuples, columns, batch_size), metrics
 
+    # -- write path --------------------------------------------------------------
+    def apply_delta(
+        self,
+        collection: str,
+        inserts: Sequence[Mapping[str, object]] = (),
+        deletes: Sequence[Mapping[str, object]] = (),
+    ) -> int:
+        """Apply a bag delta to ``collection``: remove ``deletes``, add ``inserts``.
+
+        Deletions are strict one-for-one bag matches — a delete row that
+        matches nothing raises :class:`~repro.errors.DeltaError`, because a
+        missing match means the maintained copy has diverged from what the
+        delta was computed against.  Deletes are applied before inserts so an
+        update (delete+insert of rows sharing a key) never trips a uniqueness
+        check.  Returns the number of rows touched.  Stores without a write
+        path reject the operation.
+        """
+        raise self._reject("delta writes")
+
+    def truncate_collection(self, collection: str) -> None:
+        """Drop every row of ``collection``, keeping its schema and indexes.
+
+        The recompute fallback of fragment maintenance
+        (``REPRO_INCREMENTAL_MAINTENANCE=0``) truncates and re-materializes
+        instead of propagating deltas.
+        """
+        raise self._reject("truncation")
+
     # -- public API -------------------------------------------------------------
     def execute(self, request: StoreRequest) -> StoreResult:
         """Execute a request, recording timing and cumulative metrics."""

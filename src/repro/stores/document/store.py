@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
-from repro.errors import SchemaError, StoreError, UnsupportedOperationError
+from repro.errors import DeltaError, SchemaError, StoreError, UnsupportedOperationError
 from repro.stores.base import (
     JoinRequest,
     batch_tuples,
@@ -107,6 +107,43 @@ class DocumentStore(Store):
         for position, document in enumerate(documents):
             index.setdefault(get_path(document, path), []).append(position)
         self._indexes[(collection, path)] = index
+
+    def apply_delta(
+        self,
+        collection: str,
+        inserts: Sequence[Mapping[str, object]] = (),
+        deletes: Sequence[Mapping[str, object]] = (),
+    ) -> int:
+        documents = self._documents(collection)
+        doomed: list[int] = []
+        taken: set[int] = set()
+        for delete in deletes:
+            record = dict(delete)
+            match = None
+            for position, stored in enumerate(documents):
+                if position not in taken and stored == record:
+                    match = position
+                    break
+            if match is None:
+                raise DeltaError(
+                    f"collection {collection!r}: delete of {record!r} matches no document"
+                )
+            taken.add(match)
+            doomed.append(match)
+        for position in sorted(doomed, reverse=True):
+            del documents[position]
+        # Indexes are positional; removals shift everything after them.
+        self._rebuild_indexes(collection)
+        return len(doomed) + self.insert(collection, inserts)
+
+    def truncate_collection(self, collection: str) -> None:
+        self._documents(collection).clear()
+        self._rebuild_indexes(collection)
+
+    def _rebuild_indexes(self, collection: str) -> None:
+        for indexed_collection, path in list(self._indexes):
+            if indexed_collection == collection:
+                self.create_index(collection, path)
 
     # -- store interface ---------------------------------------------------------------
     def capabilities(self) -> StoreCapabilities:

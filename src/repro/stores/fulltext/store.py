@@ -12,7 +12,7 @@ import math
 from collections import Counter
 from typing import Iterable, Mapping, Sequence
 
-from repro.errors import StoreError, UnsupportedOperationError
+from repro.errors import DeltaError, StoreError, UnsupportedOperationError
 from repro.stores.base import (
     JoinRequest,
     batch_tuples,
@@ -72,6 +72,48 @@ class FullTextStore(Store):
                 bucket.postings.setdefault(token, {})[position] = frequency
             count += 1
         return count
+
+    def apply_delta(
+        self,
+        collection: str,
+        inserts: Sequence[Mapping[str, object]] = (),
+        deletes: Sequence[Mapping[str, object]] = (),
+    ) -> int:
+        bucket = self._bucket(collection)
+        doomed: list[int] = []
+        taken: set[int] = set()
+        for delete in deletes:
+            record = dict(delete)
+            match = None
+            for position, stored in enumerate(bucket.documents):
+                if position not in taken and stored == record:
+                    match = position
+                    break
+            if match is None:
+                raise DeltaError(
+                    f"collection {collection!r}: delete of {record!r} matches no document"
+                )
+            taken.add(match)
+            doomed.append(match)
+        for position in sorted(doomed, reverse=True):
+            del bucket.documents[position]
+        # Postings key on document positions; rebuild the inverted index.
+        self._reindex(bucket)
+        return len(doomed) + self.insert(collection, inserts)
+
+    def truncate_collection(self, collection: str) -> None:
+        bucket = self._bucket(collection)
+        bucket.documents = []
+        self._reindex(bucket)
+
+    def _reindex(self, bucket: _Collection) -> None:
+        bucket.postings = {}
+        bucket.lengths = []
+        for position, stored in enumerate(bucket.documents):
+            tokens = self._analyzer.analyze_fields(stored, bucket.indexed_fields)
+            bucket.lengths.append(len(tokens))
+            for token, frequency in Counter(tokens).items():
+                bucket.postings.setdefault(token, {})[position] = frequency
 
     def _bucket(self, collection: str) -> _Collection:
         bucket = self._collections.get(collection)

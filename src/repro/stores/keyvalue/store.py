@@ -12,7 +12,13 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
-from repro.errors import AccessPatternViolation, KeyNotFoundError, StoreError, UnsupportedOperationError
+from repro.errors import (
+    AccessPatternViolation,
+    DeltaError,
+    KeyNotFoundError,
+    StoreError,
+    UnsupportedOperationError,
+)
 from repro.stores.base import (
     JoinRequest,
     batch_tuples,
@@ -37,6 +43,7 @@ class KeyValueStore(Store):
     ) -> None:
         super().__init__(name, latency=latency)
         self._collections: dict[str, dict[object, object]] = {}
+        self._key_columns: dict[str, str] = {}
         # Some deployments (e.g. a debugging console) allow full scans; the
         # default mirrors the paper's restriction.
         self._allow_scans = allow_scans
@@ -84,6 +91,44 @@ class KeyValueStore(Store):
         if bucket is None:
             raise StoreError(f"collection {name!r} does not exist in store {self.name!r}")
         return bucket
+
+    # -- write path ----------------------------------------------------------------------
+    def set_key_column(self, collection: str, column: str) -> None:
+        """Declare which field of a row dict is the collection's key.
+
+        Key-value entries are addressed by key, but delta rows arrive as
+        plain field dicts; the materialization path records the key column
+        here so :meth:`apply_delta` can route them.
+        """
+        self._key_columns[collection] = column
+
+    def apply_delta(
+        self,
+        collection: str,
+        inserts: Sequence[Mapping[str, object]] = (),
+        deletes: Sequence[Mapping[str, object]] = (),
+    ) -> int:
+        bucket = self._collection(collection)
+        key_column = self._key_columns.get(collection)
+        if key_column is None:
+            raise StoreError(
+                f"collection {collection!r} in store {self.name!r} has no declared "
+                f"key column; cannot apply a delta"
+            )
+        for delete in deletes:
+            key = delete.get(key_column)
+            if key not in bucket:
+                raise DeltaError(
+                    f"collection {collection!r}: delete of key {key!r} matches no entry"
+                )
+            del bucket[key]
+        for insert in inserts:
+            # Keep the key inside the value, matching the materialization path.
+            bucket[insert.get(key_column)] = dict(insert)
+        return len(deletes) + len(inserts)
+
+    def truncate_collection(self, collection: str) -> None:
+        self._collection(collection).clear()
 
     # -- store interface -----------------------------------------------------------------
     def capabilities(self) -> StoreCapabilities:

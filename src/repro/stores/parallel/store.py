@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Mapping, Sequence
 
-from repro.errors import SchemaError, StoreError, UnsupportedOperationError
+from repro.errors import DeltaError, SchemaError, StoreError, UnsupportedOperationError
 from repro.stores.sharding import stable_hash
 from repro.stores.base import (
     JoinRequest,
@@ -110,6 +110,53 @@ class ParallelStore(Store):
                 index.setdefault(row.get(column), []).append(position)
             partition_indexes.append(index)
         target.indexes[column] = partition_indexes
+
+    def apply_delta(
+        self,
+        collection: str,
+        inserts: Sequence[Mapping[str, object]] = (),
+        deletes: Sequence[Mapping[str, object]] = (),
+    ) -> int:
+        target = self._dataset(collection)
+        touched_partitions: set[int] = set()
+        taken: dict[int, set[int]] = {}
+        doomed: dict[int, list[int]] = {}
+        for delete in deletes:
+            record = dict(delete)
+            partition_number = target.partition_of(record)
+            partition = target.partitions[partition_number]
+            claimed = taken.setdefault(partition_number, set())
+            match = None
+            for position, stored in enumerate(partition):
+                if position not in claimed and stored == record:
+                    match = position
+                    break
+            if match is None:
+                raise DeltaError(
+                    f"dataset {collection!r}: delete of {record!r} matches no row"
+                )
+            claimed.add(match)
+            doomed.setdefault(partition_number, []).append(match)
+        for partition_number, positions in doomed.items():
+            partition = target.partitions[partition_number]
+            for position in sorted(positions, reverse=True):
+                del partition[position]
+            touched_partitions.add(partition_number)
+        # Per-partition indexes are positional; rebuild the touched partitions.
+        for column, partition_indexes in target.indexes.items():
+            for partition_number in touched_partitions:
+                index: dict[object, list[int]] = {}
+                for position, row in enumerate(target.partitions[partition_number]):
+                    index.setdefault(row.get(column), []).append(position)
+                partition_indexes[partition_number] = index
+        deleted = sum(len(positions) for positions in doomed.values())
+        return deleted + self.insert(collection, inserts)
+
+    def truncate_collection(self, collection: str) -> None:
+        target = self._dataset(collection)
+        target.partitions = [[] for _ in target.partitions]
+        for column in target.indexes:
+            target.indexes[column] = [{} for _ in target.partitions]
 
     def _dataset(self, name: str) -> _Dataset:
         dataset = self._datasets.get(name)

@@ -69,6 +69,20 @@ class RelationalStore(Store):
         """Create a hash index on ``table_name.column``."""
         self.table(table_name).create_index(column)
 
+    def apply_delta(
+        self,
+        collection: str,
+        inserts: Sequence[Mapping[str, object]] = (),
+        deletes: Sequence[Mapping[str, object]] = (),
+    ) -> int:
+        table = self.table(collection)
+        touched = table.delete_rows(deletes)
+        touched += table.insert_many(inserts)
+        return touched
+
+    def truncate_collection(self, collection: str) -> None:
+        self.table(collection).truncate()
+
     # -- store interface ------------------------------------------------------------
     def capabilities(self) -> StoreCapabilities:
         return StoreCapabilities(

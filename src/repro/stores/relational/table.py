@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
-from repro.errors import SchemaError, StoreError
+from repro.errors import DeltaError, SchemaError, StoreError
 
 __all__ = ["Table", "HashIndex"]
 
@@ -92,6 +92,49 @@ class Table:
                 f"table {self.name!r} expects {len(self.columns)} values, got {len(values)}"
             )
         return dict(zip(self.columns, values))
+
+    def delete_rows(self, rows: Iterable[Mapping[str, object] | Sequence[object]]) -> int:
+        """Delete one stored row per given row (strict bag semantics).
+
+        Every delete must match exactly one stored copy; a delete with no
+        remaining match raises :class:`~repro.errors.DeltaError` — it means
+        the caller's picture of the table has diverged from its contents.
+        Positions shift after removal, so the primary index and every hash
+        index are rebuilt.  Returns the number of rows deleted.
+        """
+        doomed: list[int] = []
+        taken: set[int] = set()
+        for row in rows:
+            record = self._coerce(row)
+            match = None
+            for position, stored in enumerate(self._rows):
+                if position not in taken and stored == record:
+                    match = position
+                    break
+            if match is None:
+                raise DeltaError(
+                    f"table {self.name!r}: delete of {record!r} matches no stored row"
+                )
+            taken.add(match)
+            doomed.append(match)
+        for position in sorted(doomed, reverse=True):
+            del self._rows[position]
+        self._reindex()
+        return len(doomed)
+
+    def truncate(self) -> None:
+        """Drop every row, keeping columns, primary key and index definitions."""
+        self._rows = []
+        self._reindex()
+
+    def _reindex(self) -> None:
+        self._primary_index = {}
+        if self.primary_key:
+            for position, record in enumerate(self._rows):
+                key = tuple(record[c] for c in self.primary_key)
+                self._primary_index[key] = position
+        for index in self._indexes.values():
+            index.rebuild(self._rows)
 
     # -- indexing -------------------------------------------------------------------
     def create_index(self, column: str) -> HashIndex:

@@ -48,7 +48,9 @@ from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence, TypeVar
 from repro.errors import (
     AccessPatternViolation,
     AllReplicasFailedError,
+    DeltaError,
     KeyNotFoundError,
+    PartialWriteError,
     SchemaError,
     StoreError,
     TransientStoreError,
@@ -278,6 +280,56 @@ class ReplicatedStore(Store):
                 )
             written = inserter(collection, materialized)
         return written
+
+    def apply_delta(
+        self,
+        collection: str,
+        inserts: Sequence[Mapping[str, object]] = (),
+        deletes: Sequence[Mapping[str, object]] = (),
+    ) -> int:
+        """Fan a delta out to *every* replica; roll back on partial failure.
+
+        Unlike :meth:`create_index`, deltas go **through** fault-injection
+        wrappers: a write that silently skipped a crashed replica would leave
+        the copies divergent with no record of it.  When a replica fails
+        after others were written, the written ones get the inverse delta
+        applied and the write surfaces as
+        :class:`~repro.errors.PartialWriteError` — callers keep the fragment
+        marked stale and retry after the replica revives.
+        """
+        materialized_inserts = [dict(row) for row in inserts]
+        materialized_deletes = [dict(row) for row in deletes]
+        touched = 0
+        applied: list[Store] = []
+        for replica in self._replicas:
+            try:
+                touched = replica.apply_delta(
+                    collection, inserts=materialized_inserts, deletes=materialized_deletes
+                )
+            except (StoreError, DeltaError) as error:
+                rolled_back = True
+                for done in applied:
+                    try:
+                        done.apply_delta(
+                            collection,
+                            inserts=materialized_deletes,
+                            deletes=materialized_inserts,
+                        )
+                    except (StoreError, DeltaError):
+                        rolled_back = False
+                raise PartialWriteError(
+                    f"delta to collection {collection!r} failed on replica "
+                    f"{replica.name!r} of store {self.name!r}: {error}",
+                    failed_children=(replica.name,),
+                    rolled_back=rolled_back,
+                ) from error
+            applied.append(replica)
+        return touched
+
+    def truncate_collection(self, collection: str) -> None:
+        """Truncate on every replica (a maintenance write, like indexing)."""
+        for replica in self._replicas:
+            replica.truncate_collection(collection)
 
     def create_index(self, collection: str, column: str) -> None:
         """Create the index on every replica that supports it.

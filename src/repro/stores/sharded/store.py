@@ -29,7 +29,13 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable, Iterable, Mapping, Sequence
 
-from repro.errors import SchemaError, StoreError, UnsupportedOperationError
+from repro.errors import (
+    DeltaError,
+    PartialWriteError,
+    SchemaError,
+    StoreError,
+    UnsupportedOperationError,
+)
 from repro.stores.base import (
     JoinRequest,
     LookupRequest,
@@ -134,11 +140,7 @@ class ShardedStore(Store):
             raise StoreError(
                 f"collection {collection!r} has no sharding spec in store {self.name!r}"
             )
-        grouped: dict[int, list[dict[str, object]]] = {}
-        for row in rows:
-            if not isinstance(row, Mapping):
-                raise SchemaError("sharded store rows must be mappings")
-            grouped.setdefault(spec.route(row.get(spec.shard_key)), []).append(dict(row))
+        grouped = self._route_rows(spec, list(rows))
         written = 0
         for index, shard_rows in grouped.items():
             child = self._shards[index]
@@ -156,6 +158,80 @@ class ShardedStore(Store):
             indexer = getattr(child, "create_index", None)
             if indexer is not None and collection in child.collections():
                 indexer(collection, column)
+
+    # -- write path -----------------------------------------------------------------
+    def _route_rows(
+        self, spec: ShardingSpec, rows: Sequence[Mapping[str, object]]
+    ) -> dict[int, list[dict[str, object]]]:
+        """Group rows by owning shard via the spec's :func:`stable_hash` routing.
+
+        The same ``spec.route`` call the planner's shard pruning and the bulk
+        :meth:`insert` path use — never a per-call hash — so a written row is
+        always found again by a pruned scan on its key.
+        """
+        grouped: dict[int, list[dict[str, object]]] = {}
+        for row in rows:
+            if not isinstance(row, Mapping):
+                raise SchemaError("sharded store rows must be mappings")
+            grouped.setdefault(spec.route(row.get(spec.shard_key)), []).append(dict(row))
+        return grouped
+
+    def apply_delta(
+        self,
+        collection: str,
+        inserts: Sequence[Mapping[str, object]] = (),
+        deletes: Sequence[Mapping[str, object]] = (),
+    ) -> int:
+        """Route a delta shard by shard; roll back on a partial failure.
+
+        Each affected shard receives its slice of the deletes and inserts in
+        one child ``apply_delta`` call.  If a child fails after others
+        succeeded, the successful children get the *inverse* delta applied,
+        so no reader ever observes a half-written fragment; the failure is
+        re-raised as :class:`~repro.errors.PartialWriteError`.
+        """
+        spec = self._specs.get(collection)
+        if spec is None:
+            raise StoreError(
+                f"collection {collection!r} has no sharding spec in store {self.name!r}"
+            )
+        grouped_inserts = self._route_rows(spec, inserts)
+        grouped_deletes = self._route_rows(spec, deletes)
+        touched = 0
+        applied: list[int] = []
+        for index in sorted(set(grouped_inserts) | set(grouped_deletes)):
+            child = self._shards[index]
+            try:
+                touched += child.apply_delta(
+                    collection,
+                    inserts=grouped_inserts.get(index, ()),
+                    deletes=grouped_deletes.get(index, ()),
+                )
+            except (StoreError, DeltaError) as error:
+                rolled_back = True
+                for done in applied:
+                    try:
+                        self._shards[done].apply_delta(
+                            collection,
+                            inserts=grouped_deletes.get(done, ()),
+                            deletes=grouped_inserts.get(done, ()),
+                        )
+                    except (StoreError, DeltaError):
+                        rolled_back = False
+                raise PartialWriteError(
+                    f"delta to collection {collection!r} failed on shard {index} "
+                    f"of store {self.name!r}: {error}",
+                    failed_children=(child.name,),
+                    rolled_back=rolled_back,
+                ) from error
+            applied.append(index)
+        return touched
+
+    def truncate_collection(self, collection: str) -> None:
+        self._check_collection(collection)
+        for child in self._shards:
+            if collection in child.collections():
+                child.truncate_collection(collection)
 
     # -- store interface ---------------------------------------------------------------
     def capabilities(self) -> StoreCapabilities:

@@ -169,6 +169,26 @@ class FaultInjector(Store):
         super().reset_metrics()
         self._inner.reset_metrics()
 
+    # -- write path ------------------------------------------------------------------
+    # Explicit overrides: ``apply_delta``/``truncate_collection`` exist on the
+    # Store base class, so attribute lookup resolves them there and never
+    # reaches ``__getattr__`` — and unlike materialization (which bypasses
+    # injection via ``fault_target``), live writes must *observe* a crash:
+    # a crashed replica refusing a delta is exactly what the chaos suite's
+    # write-fan-out scenario exercises.
+    def apply_delta(
+        self,
+        collection: str,
+        inserts: Sequence[Mapping[str, object]] = (),
+        deletes: Sequence[Mapping[str, object]] = (),
+    ) -> int:
+        self._check_alive()
+        return self._inner.apply_delta(collection, inserts=inserts, deletes=deletes)
+
+    def truncate_collection(self, collection: str) -> None:
+        self._check_alive()
+        self._inner.truncate_collection(collection)
+
     # -- the fault schedule ----------------------------------------------------------
     def _check_alive(self) -> None:
         if self._crashed:
