@@ -1,0 +1,220 @@
+"""E17 — online self-tuning: unattended live migration under a workload shift.
+
+The closed loop the paper sketches: a marketplace serves a users-heavy
+workload with ``visits`` parked on a cheap-but-slow archival store.  The
+workload then shifts — visits queries dominate — and the background advisor
+(:meth:`QueryService.start_autotune`) must notice the hot placement from the
+statistics the serving layer already gathers, and migrate ``F_visits`` to the
+fast store **live** (dual-write + backfill + atomic cutover) while the
+shifted workload keeps running.  Nobody calls the advisor; nobody stops the
+world.
+
+Claims checked:
+
+* the migration happens unattended (a ``done`` migration appears in
+  ``summary()["migrations"]`` without any explicit migrate call);
+* reads are bag-identical before, during and after the cutover;
+* post-cutover p99 recovers to within ``2x`` the pre-shift p99 (the shifted
+  p99 on the slow store is an order of magnitude worse).
+
+Results land in ``BENCH_e17.json``; ``REPRO_BENCH_SMOKE=1`` (CI) shrinks the
+dataset and skips the wall-clock recovery threshold, keeping the structural
+claims.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import Estocada
+from repro.advisor import AutotunePolicy
+from repro.catalog import AccessMethod, StorageDescriptor, StorageLayout
+from repro.core import Atom, ConjunctiveQuery, ViewDefinition
+from repro.datamodel import TableSchema
+from repro.service import QueryService
+from repro.stores import RelationalStore
+
+RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_e17.json"
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+USERS = 60 if SMOKE else 200
+VISITS = 600 if SMOKE else 6_000
+PHASE_QUERIES = 60 if SMOKE else 250
+SLOW_LATENCY = 0.004 if SMOKE else 0.01
+MAX_P99_RATIO = 2.0
+MIGRATION_DEADLINE = 60.0
+
+POLICY = AutotunePolicy(min_reads=8, hot_read_share=0.4, hot_latency_seconds=SLOW_LATENCY / 2)
+
+
+def _view(name, head, body, columns):
+    return ViewDefinition(name, ConjunctiveQuery(name, head, body), column_names=columns)
+
+
+def _user_rows():
+    return [
+        {"uid": uid, "name": f"user-{uid}", "city": ("paris", "lyon", "nice")[uid % 3]}
+        for uid in range(USERS)
+    ]
+
+
+def _visit_rows():
+    return [
+        {"uid": i % USERS, "sku": f"s{i % 37}", "duration_ms": i % 500}
+        for i in range(VISITS)
+    ]
+
+
+def _build() -> Estocada:
+    """Users on the fast store; visits parked on the slow archival store.
+
+    Both relations are writable, so the migration runs the managed
+    (dual-write + backfill) path, not the offline copy.
+    """
+    est = Estocada()
+    est.register_store("fast", RelationalStore("fast"))
+    est.register_store("archive", RelationalStore("archive", latency=SLOW_LATENCY))
+    est.register_relational_dataset(
+        "app",
+        [
+            TableSchema("users", ("uid", "name", "city"), primary_key=("uid",)),
+            TableSchema("visits", ("uid", "sku", "duration_ms")),
+        ],
+    )
+    est.load_relation("users", _user_rows(), dataset="app")
+    est.load_relation("visits", _visit_rows(), dataset="app")
+    est.register_fragment(
+        StorageDescriptor(
+            "F_users", "app", "fast",
+            _view("F_users", ["?u", "?n", "?c"], [Atom("users", ["?u", "?n", "?c"])],
+                  ("uid", "name", "city")),
+            StorageLayout("users"), AccessMethod("scan"),
+        ),
+        indexes=("uid",),
+    )
+    est.register_fragment(
+        StorageDescriptor(
+            "F_visits", "app", "archive",
+            _view("F_visits", ["?u", "?s", "?d"], [Atom("visits", ["?u", "?s", "?d"])],
+                  ("uid", "sku", "duration_ms")),
+            StorageLayout("visits"), AccessMethod("scan"),
+        ),
+        indexes=("uid",),
+    )
+    return est
+
+
+def _p99(latencies: list[float]) -> float:
+    ranked = sorted(latencies)
+    return ranked[min(len(ranked) - 1, int(len(ranked) * 0.99))]
+
+
+def _run_phase(service: QueryService, mix: list[str]) -> list[float]:
+    """Issue ``PHASE_QUERIES`` queries round-robin over ``mix``; client latencies."""
+    latencies = []
+    for index in range(PHASE_QUERIES):
+        sql = mix[index % len(mix)]
+        started = time.perf_counter()
+        service.execute(sql, dataset="app")
+        latencies.append(time.perf_counter() - started)
+    return latencies
+
+
+USERS_SQL = "SELECT name, city FROM users WHERE uid = 7"
+VISITS_SQL = "SELECT uid, sku FROM visits WHERE uid = 11"
+VISITS_SCAN_SQL = "SELECT uid, sku, duration_ms FROM visits"
+
+PRE_SHIFT_MIX = [USERS_SQL, USERS_SQL, USERS_SQL, VISITS_SQL]
+SHIFTED_MIX = [VISITS_SQL, VISITS_SQL, VISITS_SQL, USERS_SQL]
+
+
+def _bag(est: Estocada, sql: str):
+    return sorted(tuple(sorted(row.items())) for row in est.query(sql, dataset="app").rows)
+
+
+def test_e17_report(capsys):
+    est = _build()
+    visits_before = _bag(est, VISITS_SCAN_SQL)
+
+    with QueryService(est, workers=2) as service:
+        # Warm the plan cache so phase A measures serving, not first-plan cost.
+        for sql in (USERS_SQL, VISITS_SQL):
+            service.execute(sql, dataset="app")
+
+        # Phase A: users-heavy steady state; F_visits is warm but rarely read.
+        pre_shift = _run_phase(service, PRE_SHIFT_MIX)
+        est.statistics.reset_fragment_usage()
+
+        # Phase B: the workload shifts to visits; the background advisor is
+        # the only thing allowed to react.
+        service.start_autotune(interval_seconds=0.2, policy=POLICY)
+        shifted = _run_phase(service, SHIFTED_MIX)
+        deadline = time.time() + MIGRATION_DEADLINE
+        while est.catalog.fragment("F_visits").store == "archive" and time.time() < deadline:
+            shifted.extend(_run_phase(service, SHIFTED_MIX))
+        service.stop_autotune()
+
+        migrations = service.summary()["migrations"]
+        assert migrations, "the background advisor never attempted a migration"
+        assert migrations[-1]["phase"] == "done", migrations[-1]
+        assert migrations[-1]["managed"] is True  # dual-write path, not offline copy
+        assert est.catalog.fragment("F_visits").store == "fast"
+
+        # Phase C: same shifted mix, now on the migrated placement.
+        post_cutover = _run_phase(service, SHIFTED_MIX)
+
+    # Cutover preserved the bag: the moved fragment serves exactly the rows
+    # the archival placement served.
+    assert _bag(est, VISITS_SCAN_SQL) == visits_before
+
+    p99_pre = _p99(pre_shift)
+    p99_shifted = _p99(shifted)
+    p99_post = _p99(post_cutover)
+    report = {
+        "benchmark": "e17_online_autotune",
+        "smoke": SMOKE,
+        "base_rows": {"users": USERS, "visits": VISITS},
+        "slow_store_latency_ms": SLOW_LATENCY * 1e3,
+        "phase_queries": PHASE_QUERIES,
+        "p99_pre_shift_ms": p99_pre * 1e3,
+        "p99_shifted_ms": p99_shifted * 1e3,
+        "p99_post_cutover_ms": p99_post * 1e3,
+        "recovery_ratio": p99_post / p99_pre if p99_pre else float("inf"),
+        "migrations": migrations,
+    }
+    RESULT_FILE.write_text(json.dumps(report, indent=2) + "\n")
+
+    with capsys.disabled():
+        print(f"\n[E17] online autotune under a workload shift "
+              f"({VISITS} visit rows, archival latency {SLOW_LATENCY * 1e3:.0f} ms)")
+        print(f"  p99 pre-shift:    {p99_pre * 1e3:7.2f} ms (users-heavy, visits archived)")
+        print(f"  p99 shifted:      {p99_shifted * 1e3:7.2f} ms (visits-heavy, pre-migration)")
+        print(f"  p99 post-cutover: {p99_post * 1e3:7.2f} ms (visits-heavy, migrated live)")
+        print(f"  backfill rows:    {migrations[-1]['backfill_rows']}")
+        print(f"  report written to {RESULT_FILE.name}")
+
+    if not SMOKE:
+        assert p99_shifted > p99_post, "the shift never degraded latency; nothing was tuned"
+        assert p99_post <= MAX_P99_RATIO * p99_pre, (
+            f"post-cutover p99 {p99_post * 1e3:.2f} ms did not recover to within "
+            f"{MAX_P99_RATIO}x the pre-shift p99 {p99_pre * 1e3:.2f} ms"
+        )
+
+
+def test_e17_migration_survives_concurrent_writes():
+    """Writes racing the unattended migration land exactly once."""
+    est = _build()
+    expected = len(_bag(est, VISITS_SCAN_SQL))
+
+    def _race(phase: str) -> None:
+        if phase == "backfill":
+            est.insert("visits", {"uid": 1, "sku": "raced", "duration_ms": 1})
+
+    migration = est.migrate_fragment("F_visits", "fast", phase_hook=_race)
+    assert migration.phase == "done"
+    rows = _bag(est, VISITS_SCAN_SQL)
+    assert len(rows) == expected + 1
+    assert sum(1 for row in rows if ("sku", "raced") in row) == 1

@@ -3,6 +3,7 @@
 from repro.advisor.advisor import AdvisorReport, Recommendation, StorageAdvisor
 from repro.advisor.candidates import CandidateFragment, WorkloadQuery, enumerate_candidates
 from repro.advisor.heuristics import CandidateScore, greedy_select
+from repro.advisor.monitor import AutotunePolicy, DriftFinding, DriftMonitor, MigrationAction
 
 __all__ = [
     "StorageAdvisor",
@@ -13,4 +14,8 @@ __all__ = [
     "enumerate_candidates",
     "CandidateScore",
     "greedy_select",
+    "AutotunePolicy",
+    "DriftFinding",
+    "DriftMonitor",
+    "MigrationAction",
 ]

@@ -22,9 +22,23 @@ from repro.core.rewriting import Rewriter
 from repro.core.terms import Variable
 from repro.core.views import ViewDefinition
 from repro.cost.cost_model import CostModel
-from repro.errors import AdvisorError
+from repro.errors import AdvisorError, CatalogError, ChaseError, PlanningError, RewritingError
+from repro.stores.base import Store
 
 __all__ = ["Recommendation", "AdvisorReport", "StorageAdvisor"]
+
+
+def _store_for_model(stores: Mapping[str, Store], target_model: str) -> str | None:
+    """First registered store whose native data model matches ``target_model``.
+
+    Shared by hypothetical costing (:class:`_HypotheticalPlanner`) and the
+    final recommendation (:meth:`StorageAdvisor._suggest_store`) so the store
+    a candidate was *costed on* is the store it is *recommended for*.
+    """
+    for name, store in stores.items():
+        if store.capabilities().data_model == target_model:
+            return name
+    return None
 
 
 @dataclass(slots=True)
@@ -78,6 +92,7 @@ class StorageAdvisor:
         extra_views: Sequence[ViewDefinition] = (),
         hypothetical_statistics: Mapping[str, FragmentStatistics] | None = None,
         bound_parameters: Sequence[Variable] = (),
+        target_models: Mapping[str, str] | None = None,
     ) -> float:
         """Best-plan cost of ``query`` with optionally added hypothetical views."""
         manager = self._estocada.catalog
@@ -98,11 +113,11 @@ class StorageAdvisor:
         )
         cost_model = CostModel(statistics)  # type: ignore[arg-type]
         best = float("inf")
-        planner = _HypotheticalPlanner(manager, extra_views)
+        planner = _HypotheticalPlanner(manager, extra_views, target_models)
         for rewriting in outcome.feasible_rewritings:
             try:
                 groups = planner.groups_for(rewriting, bound_parameters)
-            except Exception:
+            except (AdvisorError, PlanningError, CatalogError):
                 continue
             estimate = cost_model.estimate_groups(rewriting.name, groups)
             best = min(best, estimate.total_cost)
@@ -165,6 +180,9 @@ class StorageAdvisor:
         )
 
         candidates = enumerate_candidates(workload)
+        candidate_views: dict[str, ViewDefinition] = {}
+        candidate_stats: dict[str, FragmentStatistics] = {}
+        target_models = {candidate.name: candidate.target_model for candidate in candidates}
         scores: list[CandidateScore] = []
         for candidate in candidates:
             statistics = self._candidate_statistics(candidate)
@@ -173,6 +191,8 @@ class StorageAdvisor:
                 definition=candidate.definition,
                 column_names=tuple(f"c{i}" for i in range(candidate.arity())),
             )
+            candidate_views[candidate.name] = view
+            candidate_stats[candidate.name] = statistics
             benefit = 0.0
             for entry in workload:
                 parameters = tuple(Variable(name) for name in entry.bound_columns)
@@ -184,6 +204,7 @@ class StorageAdvisor:
                     extra_views=[view],
                     hypothetical_statistics={candidate.name: statistics},
                     bound_parameters=parameters,
+                    target_models=target_models,
                 )
                 if with_candidate < baseline:
                     benefit += (baseline - with_candidate) * entry.weight
@@ -204,24 +225,54 @@ class StorageAdvisor:
             )
 
         report.drops = self._find_droppable(workload, drop_threshold)
-        report.improved_cost = max(
-            report.baseline_cost - sum(r.estimated_benefit for r in report.additions), 0.0
-        )
+        # Re-cost the workload once with *all* selected candidates applied.
+        # Per-candidate benefits are each priced against the same baseline, so
+        # summing them double-counts whenever two candidates speed up the same
+        # query; a single joint re-costing gives the true improved cost.
+        if report.additions:
+            selected_views = [candidate_views[r.candidate.name] for r in report.additions]
+            selected_stats = {
+                r.candidate.name: candidate_stats[r.candidate.name] for r in report.additions
+            }
+            improved = 0.0
+            for entry in workload:
+                baseline = baseline_costs[entry.query.name]
+                if baseline == float("inf"):
+                    continue
+                parameters = tuple(Variable(name) for name in entry.bound_columns)
+                with_all = self._query_cost(
+                    entry.query,
+                    extra_views=selected_views,
+                    hypothetical_statistics=selected_stats,
+                    bound_parameters=parameters,
+                    target_models=target_models,
+                )
+                improved += min(with_all, baseline) * entry.weight
+            report.improved_cost = improved
+        else:
+            report.improved_cost = report.baseline_cost
         return report
 
     def _suggest_store(self, candidate: CandidateFragment) -> str | None:
         """Pick a registered store matching the candidate's target data model."""
-        for name, store in self._estocada.catalog.stores().items():
-            if store.capabilities().data_model == candidate.target_model:
-                return name
-        return None
+        return _store_for_model(self._estocada.catalog.stores(), candidate.target_model)
 
     def _find_droppable(
         self, workload: Sequence[WorkloadQuery], drop_threshold: float
     ) -> list[str]:
-        """Fragments no workload query's best rewriting uses."""
+        """Fragments whose weighted workload usage does not justify their space.
+
+        Every fragment some feasible rewriting can touch accumulates the
+        weight of the queries that can use it.  Fragments with zero usage are
+        always flagged; with a positive ``drop_threshold``, fragments whose
+        usage-per-stored-value (weighted usage divided by ``cardinality ×
+        arity`` from :class:`FragmentStatistics`) falls at or below the
+        threshold are flagged too — big, barely-used materializations cost
+        space and maintenance work out of proportion to the traffic they
+        serve.
+        """
         manager = self._estocada.catalog
-        used: set[str] = set()
+        usage: dict[str, float] = {}
         rewriter = Rewriter(
             views=manager.view_definitions(),
             schema_constraints=manager.schema_constraints(),
@@ -232,16 +283,29 @@ class StorageAdvisor:
             parameters = tuple(Variable(name) for name in entry.bound_columns)
             try:
                 outcome = rewriter.rewrite(entry.query, bound_parameters=parameters)
-            except Exception:
+            except (RewritingError, ChaseError, PlanningError):
                 continue
+            touched: set[str] = set()
             for rewriting in outcome.feasible_rewritings:
-                used.update(rewriting.relations())
-        droppable = [
-            descriptor.fragment_name
-            for descriptor in manager.fragments()
-            if descriptor.fragment_name not in used
-        ]
-        del drop_threshold  # reserved for future cost-aware dropping
+                touched.update(rewriting.relations())
+            for relation in touched:
+                usage[relation] = usage.get(relation, 0.0) + entry.weight
+        droppable: list[str] = []
+        for descriptor in manager.fragments():
+            name = descriptor.fragment_name
+            weighted_usage = usage.get(name, 0.0)
+            if weighted_usage <= 0.0:
+                droppable.append(name)
+                continue
+            if drop_threshold <= 0.0:
+                continue
+            try:
+                statistics = self._estocada.statistics.get(name)
+            except CatalogError:
+                continue  # unmeasurable fragments are never threshold-dropped
+            space = float(statistics.cardinality) * max(1, len(descriptor.view_columns()))
+            if space > 0.0 and weighted_usage / space <= drop_threshold:
+                droppable.append(name)
         return droppable
 
 
@@ -268,17 +332,28 @@ class _HypotheticalPlanner:
     """Builds delegation groups treating hypothetical views as ordinary atoms.
 
     Candidates are not registered in the catalog, so the regular planner
-    cannot resolve them; this shim produces the per-atom accesses needed for
-    cost estimation only (hypothetical atoms get a pseudo-descriptor bound to
-    a store of the candidate's target data model, if one is registered).
+    cannot resolve them; this shim layers their pseudo-descriptors into a
+    :class:`~repro.catalog.overlay.CatalogOverlay` and plans against that —
+    the live catalog is never touched, so costing bumps no epochs, evicts no
+    cached plans, and exposes no phantom fragments to concurrent queries.
+    Each hypothetical atom is bound to a store of the candidate's target data
+    model (the same store :meth:`StorageAdvisor._suggest_store` would
+    recommend), so costing and recommendation agree.
     """
 
-    def __init__(self, manager, extra_views: Sequence[ViewDefinition]) -> None:
+    def __init__(
+        self,
+        manager,
+        extra_views: Sequence[ViewDefinition],
+        target_models: Mapping[str, str] | None = None,
+    ) -> None:
         self._manager = manager
         self._extra = {view.name: view for view in extra_views}
+        self._target_models = dict(target_models or {})
 
     def groups_for(self, rewriting: ConjunctiveQuery, bound_parameters: Sequence[Variable]):
         from repro.catalog.descriptors import AccessMethod, StorageDescriptor, StorageLayout
+        from repro.catalog.overlay import CatalogOverlay
         from repro.translation.grouping import group_for_delegation, order_atoms
 
         hypothetical_names = {
@@ -289,36 +364,33 @@ class _HypotheticalPlanner:
                 order_atoms(rewriting, self._manager, bound_parameters=tuple(bound_parameters))
             )
 
-        # Register temporary descriptors, plan, then roll back.
-        added: list[str] = []
-        try:
-            for name in hypothetical_names:
-                view = self._extra[name]
-                store_name = self._pick_store(view)
-                if store_name is None:
-                    raise AdvisorError(
-                        f"no registered store can host hypothetical fragment {name!r}"
-                    )
-                descriptor = StorageDescriptor(
-                    fragment_name=name,
-                    dataset=self._any_dataset(),
-                    store=store_name,
-                    view=view,
-                    layout=StorageLayout(collection=f"__hypothetical_{name}"),
-                    access=AccessMethod(kind="scan"),
+        overlay = CatalogOverlay(self._manager)
+        for name in sorted(hypothetical_names):
+            view = self._extra[name]
+            store_name = self._pick_store(name)
+            if store_name is None:
+                raise AdvisorError(
+                    f"no registered store can host hypothetical fragment {name!r}"
                 )
-                self._manager.register_fragment(descriptor)
-                added.append(name)
-            ordered = order_atoms(
-                rewriting, self._manager, bound_parameters=tuple(bound_parameters)
+            descriptor = StorageDescriptor(
+                fragment_name=name,
+                dataset=self._any_dataset(),
+                store=store_name,
+                view=view,
+                layout=StorageLayout(collection=f"__hypothetical_{name}"),
+                access=AccessMethod(kind="scan"),
             )
-            return group_for_delegation(ordered)
-        finally:
-            for name in added:
-                self._manager.drop_fragment(name)
+            overlay.add_fragment(descriptor)
+        ordered = order_atoms(rewriting, overlay, bound_parameters=tuple(bound_parameters))
+        return group_for_delegation(ordered)
 
-    def _pick_store(self, view: ViewDefinition) -> str | None:
+    def _pick_store(self, fragment_name: str) -> str | None:
         stores = self._manager.stores()
+        target_model = self._target_models.get(fragment_name)
+        if target_model is not None:
+            return _store_for_model(stores, target_model)
+        # No declared target model (direct _query_cost callers): any
+        # join-capable store approximates a materialized view host.
         for name, store in stores.items():
             if store.capabilities().supports_join:
                 return name

@@ -8,6 +8,7 @@ from repro.catalog.descriptors import (
     StorageLayout,
 )
 from repro.catalog.manager import DatasetInfo, StorageDescriptorManager
+from repro.catalog.overlay import CatalogOverlay
 from repro.catalog.statistics import FragmentStatistics, StatisticsCatalog
 
 __all__ = [
@@ -18,6 +19,7 @@ __all__ = [
     "ShardingSpec",
     "DatasetInfo",
     "StorageDescriptorManager",
+    "CatalogOverlay",
     "StatisticsCatalog",
     "FragmentStatistics",
 ]

@@ -196,6 +196,96 @@ class MaintenanceEngine:
             )
             return True
 
+    @property
+    def lock(self) -> threading.RLock:
+        """The engine's reentrant lock.
+
+        Live migration holds it across the cutover steps (drain, descriptor
+        swap, shadow promotion) so no write can slip between them; acquire it
+        *before* any facade planning lock, matching the write path's order.
+        """
+        return self._lock
+
+    def watch_shadow(
+        self, descriptor: StorageDescriptor, chunk_rows: int = 256
+    ) -> bool:
+        """Start maintaining a *shadow* placement for live migration.
+
+        Unlike :meth:`watch_fragment` — whose store already holds the view —
+        the shadow's target collection starts empty: ``applied`` is the empty
+        bag, and the view's current contents are queued as chunked *backfill*
+        deltas ahead of any dual-written view deltas.  From this call on,
+        every base write fans its view delta to the shadow exactly as to the
+        live placement; :meth:`maintain` then streams backfill chunks and
+        queued writes in order.  Cancelling mid-backfill leaves the shadow
+        detectably stale (its counters stand) and the live placement
+        untouched.  Returns False when a base relation is not shadowed.
+        """
+        definition = descriptor.view.definition
+        relations = frozenset(definition.relations())
+        with self._lock:
+            if not relations <= set(self._bags):
+                return False
+            name = descriptor.fragment_name
+            if name in self._fragments:
+                raise MaintenanceError(f"fragment {name!r} is already watched")
+            content = evaluate(definition, self._bags)
+            pending: list[PendingDelta] = []
+            chunk: dict[tuple, int] = {}
+            volume = 0
+            for row, count in content.items():
+                chunk[row] = count
+                volume += abs(count)
+                if volume >= max(1, chunk_rows):
+                    pending.append(PendingDelta(seq=self._next_seq, fragment=name, delta=chunk))
+                    chunk = {}
+                    volume = 0
+            if chunk:
+                pending.append(PendingDelta(seq=self._next_seq, fragment=name, delta=chunk))
+            self._fragments[name] = _WatchedFragment(
+                descriptor=descriptor,
+                definition=definition,
+                view_columns=descriptor.view_columns(),
+                relations=relations,
+                pending=pending,
+                applied=Counter(),
+            )
+            for entry in pending:
+                self._statistics.note_pending_delta(name, entry.row_volume, entry.seq)
+            return True
+
+    def promote_shadow(self, shadow: str, descriptor: StorageDescriptor) -> None:
+        """Cutover bookkeeping: the shadow becomes the fragment's live watch.
+
+        The shadow's maintenance state (applied bag, any residual pending
+        deltas) carries over to ``descriptor.fragment_name``, replacing the
+        old placement's watch; staleness counters are re-keyed accordingly.
+        The caller holds :attr:`lock` across the catalog swap and this call
+        so no write lands in between.
+        """
+        with self._lock:
+            watched = self._fragments.pop(shadow, None)
+            if watched is None:
+                raise MaintenanceError(f"shadow fragment {shadow!r} is not watched")
+            name = descriptor.fragment_name
+            definition = descriptor.view.definition
+            pending = [
+                PendingDelta(seq=entry.seq, fragment=name, delta=entry.delta)
+                for entry in watched.pending
+            ]
+            self._fragments[name] = _WatchedFragment(
+                descriptor=descriptor,
+                definition=definition,
+                view_columns=descriptor.view_columns(),
+                relations=frozenset(definition.relations()),
+                pending=pending,
+                applied=watched.applied,
+            )
+            self._statistics.clear_staleness(shadow)
+            self._statistics.clear_staleness(name)
+            for entry in pending:
+                self._statistics.note_pending_delta(name, entry.row_volume, entry.seq)
+
     def unwatch_fragment(self, name: str) -> None:
         """Stop maintaining a fragment (dropped or re-registered)."""
         with self._lock:

@@ -10,6 +10,7 @@ each fragment's store and layout.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
@@ -40,9 +41,18 @@ class DatasetInfo:
 
 
 class StorageDescriptorManager:
-    """Registry of stores, datasets and fragment descriptors."""
+    """Registry of stores, datasets and fragment descriptors.
+
+    All reads and mutations synchronize on one reentrant lock, so concurrent
+    service queries can never observe a half-applied registration (descriptor
+    visible but epochs not yet bumped, or vice versa) while a migration or
+    advisor-driven reorganization mutates the catalog.  The lock is strictly
+    leaf-level: no method calls out to stores, planners or other locked
+    components while holding it.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._stores: dict[str, Store] = {}
         self._datasets: dict[str, DatasetInfo] = {}
         self._fragments: dict[str, StorageDescriptor] = {}
@@ -60,7 +70,8 @@ class StorageDescriptorManager:
         :meth:`epoch_signature`), so registering fragment #5000 does not
         invalidate plans that never touch its relations.
         """
-        return self._version
+        with self._lock:
+            return self._version
 
     # -- epochs -------------------------------------------------------------------------
     @property
@@ -70,11 +81,13 @@ class StorageDescriptorManager:
         Dataset constraints can affect the rewriting of *any* query, so plans
         must additionally key on this coarse epoch.
         """
-        return self._structural_epoch
+        with self._lock:
+            return self._structural_epoch
 
     def relation_epoch(self, relation: str) -> int:
         """Epoch of one relation signature (0 while never mutated)."""
-        return self._relation_epochs.get(relation, 0)
+        with self._lock:
+            return self._relation_epochs.get(relation, 0)
 
     def epoch_signature(self, relations: Iterable[str]) -> tuple[tuple[str, int], ...]:
         """Sorted ``(relation, epoch)`` pairs for a set of relations.
@@ -83,19 +96,21 @@ class StorageDescriptorManager:
         can possibly touch stays valid exactly until one of those relations'
         fragments changes.
         """
-        return tuple(
-            (relation, self._relation_epochs.get(relation, 0))
-            for relation in sorted(set(relations))
-        )
+        with self._lock:
+            return tuple(
+                (relation, self._relation_epochs.get(relation, 0))
+                for relation in sorted(set(relations))
+            )
 
     def fragment_relations(self, descriptor: StorageDescriptor) -> frozenset[str]:
         """The relation signature of a fragment: its body relations + its name."""
         return descriptor.view.definition.relations() | {descriptor.fragment_name}
 
     def _bump_relations(self, relations: Iterable[str]) -> None:
-        self._epoch_clock += 1
-        for relation in relations:
-            self._relation_epochs[relation] = self._epoch_clock
+        with self._lock:
+            self._epoch_clock += 1
+            for relation in relations:
+                self._relation_epochs[relation] = self._epoch_clock
 
     def note_data_write(self, relations: Iterable[str]) -> None:
         """Record a *data* change to ``relations`` (DML, not DDL).
@@ -110,33 +125,37 @@ class StorageDescriptorManager:
     # -- stores ---------------------------------------------------------------------
     def register_store(self, name: str, store: Store) -> None:
         """Register a store under ``name``."""
-        if name in self._stores:
-            raise DuplicateRegistrationError(f"store {name!r} is already registered")
-        self._stores[name] = store
-        self._version += 1
+        with self._lock:
+            if name in self._stores:
+                raise DuplicateRegistrationError(f"store {name!r} is already registered")
+            self._stores[name] = store
+            self._version += 1
 
     def unregister_store(self, name: str) -> None:
         """Remove a store (its fragments must have been dropped first)."""
-        if name not in self._stores:
-            raise UnknownStoreError(f"store {name!r} is not registered")
-        still_used = [f.fragment_name for f in self._fragments.values() if f.store == name]
-        if still_used:
-            raise DuplicateRegistrationError(
-                f"store {name!r} still hosts fragments {still_used}; drop them first"
-            )
-        del self._stores[name]
-        self._version += 1
+        with self._lock:
+            if name not in self._stores:
+                raise UnknownStoreError(f"store {name!r} is not registered")
+            still_used = [f.fragment_name for f in self._fragments.values() if f.store == name]
+            if still_used:
+                raise DuplicateRegistrationError(
+                    f"store {name!r} still hosts fragments {still_used}; drop them first"
+                )
+            del self._stores[name]
+            self._version += 1
 
     def store(self, name: str) -> Store:
         """Look up a registered store."""
-        store = self._stores.get(name)
+        with self._lock:
+            store = self._stores.get(name)
         if store is None:
             raise UnknownStoreError(f"store {name!r} is not registered")
         return store
 
     def stores(self) -> Mapping[str, Store]:
         """All registered stores by name."""
-        return dict(self._stores)
+        with self._lock:
+            return dict(self._stores)
 
     # -- datasets ---------------------------------------------------------------------
     def register_dataset(
@@ -148,64 +167,99 @@ class StorageDescriptorManager:
         description: str = "",
     ) -> DatasetInfo:
         """Register a logical dataset and its pivot-model constraints."""
-        if name in self._datasets:
-            raise DuplicateRegistrationError(f"dataset {name!r} is already registered")
-        info = DatasetInfo(
-            name=name,
-            data_model=data_model,
-            relations=tuple(relations),
-            constraints=ConstraintSet(constraints),
-            description=description,
-        )
-        self._datasets[name] = info
-        self._version += 1
-        self._structural_epoch += 1
-        return info
+        with self._lock:
+            if name in self._datasets:
+                raise DuplicateRegistrationError(f"dataset {name!r} is already registered")
+            info = DatasetInfo(
+                name=name,
+                data_model=data_model,
+                relations=tuple(relations),
+                constraints=ConstraintSet(constraints),
+                description=description,
+            )
+            self._datasets[name] = info
+            self._version += 1
+            self._structural_epoch += 1
+            return info
 
     def dataset(self, name: str) -> DatasetInfo:
         """Look up a registered dataset."""
-        info = self._datasets.get(name)
+        with self._lock:
+            info = self._datasets.get(name)
         if info is None:
             raise UnknownDatasetError(f"dataset {name!r} is not registered")
         return info
 
     def datasets(self) -> Mapping[str, DatasetInfo]:
         """All registered datasets by name."""
-        return dict(self._datasets)
+        with self._lock:
+            return dict(self._datasets)
 
     # -- fragments -----------------------------------------------------------------------
     def register_fragment(self, descriptor: StorageDescriptor) -> None:
         """Register a fragment descriptor (its dataset and store must exist)."""
-        if descriptor.fragment_name in self._fragments:
-            raise DuplicateRegistrationError(
-                f"fragment {descriptor.fragment_name!r} is already registered"
-            )
-        if descriptor.dataset not in self._datasets:
-            raise UnknownDatasetError(
-                f"fragment {descriptor.fragment_name!r} references unknown dataset "
-                f"{descriptor.dataset!r}"
-            )
-        if descriptor.store not in self._stores:
-            raise UnknownStoreError(
-                f"fragment {descriptor.fragment_name!r} references unknown store "
-                f"{descriptor.store!r}"
-            )
-        self._fragments[descriptor.fragment_name] = descriptor
-        self._version += 1
-        self._bump_relations(self.fragment_relations(descriptor))
+        with self._lock:
+            if descriptor.fragment_name in self._fragments:
+                raise DuplicateRegistrationError(
+                    f"fragment {descriptor.fragment_name!r} is already registered"
+                )
+            if descriptor.dataset not in self._datasets:
+                raise UnknownDatasetError(
+                    f"fragment {descriptor.fragment_name!r} references unknown dataset "
+                    f"{descriptor.dataset!r}"
+                )
+            if descriptor.store not in self._stores:
+                raise UnknownStoreError(
+                    f"fragment {descriptor.fragment_name!r} references unknown store "
+                    f"{descriptor.store!r}"
+                )
+            self._fragments[descriptor.fragment_name] = descriptor
+            self._version += 1
+            self._bump_relations(self.fragment_relations(descriptor))
 
     def drop_fragment(self, name: str) -> StorageDescriptor:
         """Remove a fragment descriptor and return it."""
-        descriptor = self._fragments.pop(name, None)
-        if descriptor is None:
-            raise UnknownFragmentError(f"fragment {name!r} is not registered")
-        self._version += 1
-        self._bump_relations(self.fragment_relations(descriptor))
-        return descriptor
+        with self._lock:
+            descriptor = self._fragments.pop(name, None)
+            if descriptor is None:
+                raise UnknownFragmentError(f"fragment {name!r} is not registered")
+            self._version += 1
+            self._bump_relations(self.fragment_relations(descriptor))
+            return descriptor
+
+    def replace_fragment(self, descriptor: StorageDescriptor) -> StorageDescriptor:
+        """Atomically swap a fragment's descriptor for a new placement.
+
+        The cutover primitive of live migration: readers either see the old
+        placement or the new one — never a window where the fragment is
+        missing (a concurrent planner would then silently produce plans
+        without it).  Returns the previous descriptor.  Epochs of both
+        placements' relation signatures are bumped once.
+        """
+        name = descriptor.fragment_name
+        with self._lock:
+            previous = self._fragments.get(name)
+            if previous is None:
+                raise UnknownFragmentError(f"fragment {name!r} is not registered")
+            if descriptor.dataset not in self._datasets:
+                raise UnknownDatasetError(
+                    f"fragment {name!r} references unknown dataset {descriptor.dataset!r}"
+                )
+            if descriptor.store not in self._stores:
+                raise UnknownStoreError(
+                    f"fragment {name!r} references unknown store {descriptor.store!r}"
+                )
+            self._fragments[name] = descriptor
+            self._version += 1
+            self._bump_relations(
+                self.fragment_relations(previous) | self.fragment_relations(descriptor)
+            )
+            return previous
 
     def fragment(self, name: str) -> StorageDescriptor:
         """Look up a fragment descriptor."""
-        descriptor = self._fragments.get(name)
+        with self._lock:
+            descriptor = self._fragments.get(name)
         if descriptor is None:
             raise UnknownFragmentError(f"fragment {name!r} is not registered")
         return descriptor
@@ -213,7 +267,8 @@ class StorageDescriptorManager:
     def fragments(self, dataset: str | None = None, store: str | None = None
                   ) -> list[StorageDescriptor]:
         """Fragment descriptors, optionally filtered by dataset and/or store."""
-        result = list(self._fragments.values())
+        with self._lock:
+            result = list(self._fragments.values())
         if dataset is not None:
             result = [d for d in result if d.dataset == dataset]
         if store is not None:
@@ -229,7 +284,9 @@ class StorageDescriptorManager:
         """
         wanted = set(datasets) if datasets is not None else None
         views: list[ViewDefinition] = []
-        for descriptor in self._fragments.values():
+        with self._lock:
+            descriptors = list(self._fragments.values())
+        for descriptor in descriptors:
             if wanted is not None and descriptor.dataset not in wanted:
                 continue
             views.append(self.resolved_view(descriptor))
@@ -252,7 +309,9 @@ class StorageDescriptorManager:
     def access_pattern_registry(self) -> AccessPatternRegistry:
         """Binding patterns of every registered fragment."""
         registry = AccessPatternRegistry()
-        for descriptor in self._fragments.values():
+        with self._lock:
+            descriptors = list(self._fragments.values())
+        for descriptor in descriptors:
             pattern = descriptor.access_pattern()
             if pattern is not None:
                 registry.register(pattern)
@@ -262,7 +321,9 @@ class StorageDescriptorManager:
         """The union of the constraints of the chosen datasets (all by default)."""
         wanted = set(datasets) if datasets is not None else None
         constraints = ConstraintSet()
-        for info in self._datasets.values():
+        with self._lock:
+            infos = list(self._datasets.values())
+        for info in infos:
             if wanted is not None and info.name not in wanted:
                 continue
             constraints.extend(info.constraints)
@@ -270,8 +331,9 @@ class StorageDescriptorManager:
 
     def describe(self) -> Mapping[str, object]:
         """A JSON-friendly snapshot of the whole catalog (demo-style inspection)."""
-        return {
-            "stores": {name: store.capabilities().data_model for name, store in self._stores.items()},
-            "datasets": {name: info.data_model for name, info in self._datasets.items()},
-            "fragments": {name: d.describe() for name, d in self._fragments.items()},
-        }
+        with self._lock:
+            return {
+                "stores": {name: store.capabilities().data_model for name, store in self._stores.items()},
+                "datasets": {name: info.data_model for name, info in self._datasets.items()},
+                "fragments": {name: d.describe() for name, d in self._fragments.items()},
+            }

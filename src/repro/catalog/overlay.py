@@ -1,0 +1,171 @@
+"""A sandboxed catalog view for hypothetical (what-if) planning.
+
+The storage advisor must cost candidate fragments *as if* they were
+registered, but registering them in the live
+:class:`~repro.catalog.manager.StorageDescriptorManager` — even briefly —
+bumps the touched relations' epochs (evicting every cached plan that can see
+them) and exposes phantom fragments to concurrent service queries.
+
+:class:`CatalogOverlay` solves this by layering hypothetical additions and
+removals over a read-only view of the shared manager.  It implements the
+read surface the rewriting engine, the atom resolver and the planner consume
+(``fragment`` / ``store`` / ``view_definitions`` /
+``access_pattern_registry`` / ``schema_constraints`` / the epoch accessors),
+so it can stand in for the manager anywhere hypothetical placements are
+costed — the advisor's what-if pipeline and the migration planner both build
+one per costing call.  The overlay never mutates the base manager and never
+bumps an epoch: hypothetical planning is invisible to every other catalog
+consumer by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.catalog.descriptors import StorageDescriptor
+from repro.catalog.manager import DatasetInfo, StorageDescriptorManager
+from repro.core.binding_patterns import AccessPatternRegistry
+from repro.core.constraints import ConstraintSet
+from repro.core.views import ViewDefinition
+from repro.errors import (
+    DuplicateRegistrationError,
+    UnknownDatasetError,
+    UnknownFragmentError,
+    UnknownStoreError,
+)
+from repro.stores.base import Store
+
+__all__ = ["CatalogOverlay"]
+
+
+class CatalogOverlay:
+    """Hypothetical additions/removals layered over a live descriptor manager.
+
+    Reads resolve overlay-first, then fall through to the base manager;
+    writes (:meth:`add_fragment`, :meth:`remove_fragment`) touch only the
+    overlay.  The overlay is *not* thread-safe — each costing call builds its
+    own — but the base manager it reads from is, so overlay reads are safe
+    next to concurrent live-catalog mutations.
+    """
+
+    def __init__(self, base: StorageDescriptorManager) -> None:
+        self._base = base
+        self._added: dict[str, StorageDescriptor] = {}
+        self._removed: set[str] = set()
+
+    # -- hypothetical mutations (overlay-only, never touch the base) -----------------
+    def add_fragment(self, descriptor: StorageDescriptor) -> None:
+        """Add a hypothetical fragment (same validation as a real registration)."""
+        name = descriptor.fragment_name
+        if name in self._added or (
+            name not in self._removed and self._has_base_fragment(name)
+        ):
+            raise DuplicateRegistrationError(f"fragment {name!r} is already registered")
+        if descriptor.dataset not in self._base.datasets():
+            raise UnknownDatasetError(
+                f"fragment {name!r} references unknown dataset {descriptor.dataset!r}"
+            )
+        if descriptor.store not in self._base.stores():
+            raise UnknownStoreError(
+                f"fragment {name!r} references unknown store {descriptor.store!r}"
+            )
+        self._removed.discard(name)
+        self._added[name] = descriptor
+
+    def remove_fragment(self, name: str) -> StorageDescriptor:
+        """Hide a fragment from the overlay view (the base keeps it)."""
+        if name in self._added:
+            return self._added.pop(name)
+        descriptor = self._base.fragment(name)  # raises UnknownFragmentError
+        self._removed.add(name)
+        return descriptor
+
+    def hypothetical_fragments(self) -> tuple[str, ...]:
+        """Names of the fragments that exist only in this overlay."""
+        return tuple(sorted(self._added))
+
+    def _has_base_fragment(self, name: str) -> bool:
+        try:
+            self._base.fragment(name)
+        except UnknownFragmentError:
+            return False
+        return True
+
+    # -- epochs (delegated: hypothetical planning must not perturb them) -------------
+    @property
+    def version(self) -> int:
+        """The base manager's version — overlay mutations never bump it."""
+        return self._base.version
+
+    @property
+    def structural_epoch(self) -> int:
+        return self._base.structural_epoch
+
+    def relation_epoch(self, relation: str) -> int:
+        return self._base.relation_epoch(relation)
+
+    def epoch_signature(self, relations: Iterable[str]):
+        return self._base.epoch_signature(relations)
+
+    def fragment_relations(self, descriptor: StorageDescriptor) -> frozenset[str]:
+        return self._base.fragment_relations(descriptor)
+
+    # -- read surface ----------------------------------------------------------------
+    def store(self, name: str) -> Store:
+        return self._base.store(name)
+
+    def stores(self) -> Mapping[str, Store]:
+        return self._base.stores()
+
+    def dataset(self, name: str) -> DatasetInfo:
+        return self._base.dataset(name)
+
+    def datasets(self) -> Mapping[str, DatasetInfo]:
+        return self._base.datasets()
+
+    def fragment(self, name: str) -> StorageDescriptor:
+        descriptor = self._added.get(name)
+        if descriptor is not None:
+            return descriptor
+        if name in self._removed:
+            raise UnknownFragmentError(f"fragment {name!r} is not registered")
+        return self._base.fragment(name)
+
+    def fragments(
+        self, dataset: str | None = None, store: str | None = None
+    ) -> list[StorageDescriptor]:
+        result = [
+            descriptor
+            for descriptor in self._base.fragments(dataset=dataset, store=store)
+            if descriptor.fragment_name not in self._removed
+        ]
+        for descriptor in self._added.values():
+            if dataset is not None and descriptor.dataset != dataset:
+                continue
+            if store is not None and descriptor.store != store:
+                continue
+            result.append(descriptor)
+        return result
+
+    def resolved_view(self, descriptor: StorageDescriptor) -> ViewDefinition:
+        return self._base.resolved_view(descriptor)
+
+    def view_definitions(self, datasets: Iterable[str] | None = None) -> list[ViewDefinition]:
+        wanted = set(datasets) if datasets is not None else None
+        views: list[ViewDefinition] = []
+        for descriptor in self.fragments():
+            if wanted is not None and descriptor.dataset not in wanted:
+                continue
+            views.append(self.resolved_view(descriptor))
+        return views
+
+    def access_pattern_registry(self) -> AccessPatternRegistry:
+        registry = AccessPatternRegistry()
+        for descriptor in self.fragments():
+            pattern = descriptor.access_pattern()
+            if pattern is not None:
+                registry.register(pattern)
+        return registry
+
+    def schema_constraints(self, datasets: Iterable[str] | None = None) -> ConstraintSet:
+        return self._base.schema_constraints(datasets)

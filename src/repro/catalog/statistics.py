@@ -27,9 +27,11 @@ from repro.errors import CatalogError
 __all__ = [
     "FragmentStatistics",
     "FragmentStaleness",
+    "FragmentUsage",
     "StatisticsCatalog",
     "TenantUsage",
     "OBSERVATION_SMOOTHING",
+    "READ_LATENCY_SMOOTHING",
     "ReplicaStatistics",
     "ReplicaHealthBoard",
     "REPLICA_LATENCY_SMOOTHING",
@@ -38,6 +40,9 @@ __all__ = [
 
 OBSERVATION_SMOOTHING = 0.4
 """Weight of the newest observation in the exponentially-weighted estimate."""
+
+READ_LATENCY_SMOOTHING = 0.3
+"""Weight of the newest sample in a fragment's EWMA read latency."""
 
 REPLICA_LATENCY_SMOOTHING = 0.3
 """Weight of the newest latency sample in a replica's EWMA service latency."""
@@ -285,6 +290,31 @@ class FragmentStaleness:
 
 
 @dataclass(slots=True)
+class FragmentUsage:
+    """Per-fragment read-side counters fed by the facade's query path.
+
+    ``reads`` counts the queries whose chosen plan accessed the fragment;
+    ``ewma_latency_seconds`` smooths the elapsed time of those queries
+    (attributed to every fragment the plan touched — a per-plan figure, not a
+    per-access one, but drift in it still localizes to the fragments the
+    shifted workload hits).  The drift monitor reads these to find hot and
+    cold fragments.
+    """
+
+    fragment: str
+    reads: int = 0
+    ewma_latency_seconds: float | None = None
+
+    def describe(self) -> Mapping[str, object]:
+        """JSON-friendly counters."""
+        return {
+            "fragment": self.fragment,
+            "reads": self.reads,
+            "ewma_latency_seconds": self.ewma_latency_seconds,
+        }
+
+
+@dataclass(slots=True)
 class TenantUsage:
     """Per-tenant serving counters maintained by the query service.
 
@@ -340,6 +370,8 @@ class StatisticsCatalog:
         self._pending_rows: dict[str, int] = {}
         self._first_pending: dict[str, int] = {}
         self._latest_write_seq = 0
+        self._usage_lock = threading.Lock()
+        self._usage: dict[str, FragmentUsage] = {}
 
     # -- fragment staleness accounting ------------------------------------------------
     def note_write_seq(self, seq: int) -> None:
@@ -427,6 +459,60 @@ class StatisticsCatalog:
         """JSON-friendly snapshot of every tenant's serving counters."""
         with self._tenant_lock:
             return {name: usage.describe() for name, usage in sorted(self._tenants.items())}
+
+    # -- per-fragment read usage -------------------------------------------------------
+    def record_fragment_read(
+        self,
+        fragment: str,
+        elapsed_seconds: float,
+        smoothing: float = READ_LATENCY_SMOOTHING,
+    ) -> None:
+        """Fold one plan execution that touched ``fragment`` into its usage."""
+        with self._usage_lock:
+            usage = self._usage.get(fragment)
+            if usage is None:
+                usage = FragmentUsage(fragment=fragment)
+                self._usage[fragment] = usage
+            usage.reads += 1
+            sample = max(0.0, elapsed_seconds)
+            if usage.ewma_latency_seconds is None:
+                usage.ewma_latency_seconds = sample
+            else:
+                usage.ewma_latency_seconds += smoothing * (
+                    sample - usage.ewma_latency_seconds
+                )
+
+    def fragment_usage(self, fragment: str) -> FragmentUsage:
+        """The fragment's read-usage counters (zeroed when never read)."""
+        with self._usage_lock:
+            usage = self._usage.get(fragment)
+            if usage is None:
+                return FragmentUsage(fragment=fragment)
+            return FragmentUsage(
+                fragment=fragment,
+                reads=usage.reads,
+                ewma_latency_seconds=usage.ewma_latency_seconds,
+            )
+
+    def usage_snapshot(self) -> Mapping[str, FragmentUsage]:
+        """A copy of every tracked fragment's read usage."""
+        with self._usage_lock:
+            return {
+                name: FragmentUsage(
+                    fragment=name,
+                    reads=usage.reads,
+                    ewma_latency_seconds=usage.ewma_latency_seconds,
+                )
+                for name, usage in self._usage.items()
+            }
+
+    def reset_fragment_usage(self, fragment: str | None = None) -> None:
+        """Forget read usage (one fragment or all) — e.g. after a migration."""
+        with self._usage_lock:
+            if fragment is None:
+                self._usage.clear()
+            else:
+                self._usage.pop(fragment, None)
 
     def invalidate(self, fragment: str | None = None) -> None:
         """Drop cached statistics and observations (one fragment or all)."""

@@ -163,6 +163,14 @@ class StaleFragmentError(MaintenanceError):
     fragments cannot be maintained (e.g. their store is down)."""
 
 
+class MigrationError(MaintenanceError):
+    """A live fragment migration could not start or complete.
+
+    A failed or cancelled migration always rolls back to serving the old
+    placement — the catalog is never left half-cut.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Query languages
 # ---------------------------------------------------------------------------

@@ -350,6 +350,8 @@ class Estocada:
         self._planning_lock = threading.RLock()
         # The ambient QueryService used by REPRO_SERVICE=1 routing.
         self._ambient_service = None
+        # The live-migration engine, created on first use.
+        self._migration_engine = None
         # The rewriter persists across queries so its signature index and the
         # constraint-set identity behind the chase/containment memo keys are
         # reused; fragment registration updates it incrementally, and any
@@ -572,6 +574,75 @@ class Estocada:
                 self._rewriter_version = self._manager.version
         self._plan_cache.invalidate_relations(self._manager.fragment_relations(descriptor))
         return descriptor
+
+    # -- live migration ----------------------------------------------------------------
+    @property
+    def migrations(self) -> "MigrationEngine":
+        """The live-migration engine (created on first touch)."""
+        if self._migration_engine is None:
+            from repro.catalog.migration import MigrationEngine
+
+            self._migration_engine = MigrationEngine(self)
+        return self._migration_engine
+
+    def migrate_fragment(
+        self,
+        fragment: str,
+        target_store: str,
+        cancel: "threading.Event | None" = None,
+        chunk_rows: int | None = None,
+        phase_hook=None,
+    ):
+        """Move ``fragment`` to ``target_store`` without taking it out of service.
+
+        Dual-write + backfill + atomic cutover (see
+        :mod:`repro.catalog.migration`); a set ``cancel`` event or a store
+        failure rolls back to the old placement.  Returns the
+        :class:`~repro.catalog.migration.Migration` record.
+        """
+        from repro.catalog.migration import BACKFILL_CHUNK_ROWS
+
+        return self.migrations.migrate(
+            fragment,
+            target_store,
+            cancel=cancel,
+            chunk_rows=chunk_rows if chunk_rows is not None else BACKFILL_CHUNK_ROWS,
+            phase_hook=phase_hook,
+        )
+
+    def describe_migrations(self) -> list:
+        """Every migration attempted on this facade, oldest first."""
+        if self._migration_engine is None:
+            return []
+        return self._migration_engine.describe()
+
+    def _cutover_descriptor(
+        self, descriptor: StorageDescriptor, shadow_name: "str | None"
+    ) -> StorageDescriptor:
+        """Atomically swap a fragment's descriptor to its migrated placement.
+
+        Under the planning lock: the manager swap is a single
+        :meth:`~repro.catalog.manager.StorageDescriptorManager.replace_fragment`
+        (readers see old or new, never neither), the persistent rewriter is
+        updated in place, and — when the migration ran managed — the shadow's
+        maintenance state is promoted to the fragment's live watch.  Only
+        cached plans reaching the touched relations are invalidated.
+        """
+        with self._planning_lock:
+            previous = self._manager.replace_fragment(descriptor)
+            if self._rewriter_instance is not None and self._rewriter_version == self._manager.version - 1:
+                self._rewriter_instance.remove_view(previous.view.name)
+                self._rewriter_instance.add_view(self._manager.resolved_view(descriptor))
+                self._rewriter_version = self._manager.version
+            if shadow_name is not None:
+                self._maintenance.promote_shadow(shadow_name, descriptor)
+        self._statistics.invalidate(descriptor.fragment_name)
+        self._statistics.reset_fragment_usage(descriptor.fragment_name)
+        self._plan_cache.invalidate_relations(
+            self._manager.fragment_relations(previous)
+            | self._manager.fragment_relations(descriptor)
+        )
+        return previous
 
     # -- the write path ----------------------------------------------------------------
     @property
@@ -1010,6 +1081,8 @@ class Estocada:
             + sharding_note
         )
         self._absorb_observations(result)
+        for fragment in self._plan_fragments(selected):
+            self._statistics.record_fragment_read(fragment, result.elapsed_seconds)
         return result
 
     def _plan_fragments(self, ranked: RankedPlan) -> frozenset[str]:
@@ -1214,6 +1287,54 @@ class Estocada:
 
         advisor = StorageAdvisor(self)
         return advisor.recommend(workload, **options)
+
+    def autotune(self, policy=None, apply: bool = True, cancel=None) -> dict:
+        """One pass of the self-tuning loop: detect drift, migrate, report.
+
+        Runs the :class:`~repro.advisor.monitor.DriftMonitor` over the
+        statistics the serving layer already gathered, plans migrations for
+        the actionable findings and — when ``apply`` is true — executes them
+        live through :meth:`migrate_fragment`.  A migration that fails or is
+        cancelled rolls back and is reported, never raised; the pass is safe
+        to run unattended on a timer (see
+        :meth:`repro.service.QueryService.start_autotune`).
+
+        Returns a JSON-friendly report: ``findings`` (all drift symptoms,
+        most severe first), ``actions`` (the planned migrations) and
+        ``migrations`` (per-action outcome with the final phase).
+        """
+        from repro.advisor.monitor import DriftMonitor
+        from repro.errors import MigrationError
+
+        monitor = DriftMonitor(self, policy)
+        findings = monitor.findings()
+        actions = monitor.plan_actions(findings)
+        outcomes: list[dict] = []
+        if apply:
+            for action in actions:
+                if cancel is not None and cancel.is_set():
+                    break
+                if self.migrations.active() is not None:
+                    outcomes.append(
+                        {**action.describe(), "phase": "skipped",
+                         "error": "another migration is in flight"}
+                    )
+                    continue
+                try:
+                    migration = self.migrate_fragment(
+                        action.fragment, action.target_store, cancel=cancel
+                    )
+                except MigrationError as exc:
+                    outcomes.append({**action.describe(), "phase": "failed", "error": str(exc)})
+                else:
+                    outcomes.append(
+                        {**action.describe(), "phase": migration.phase, "error": migration.error}
+                    )
+        return {
+            "findings": [finding.describe() for finding in findings],
+            "actions": [action.describe() for action in actions],
+            "migrations": outcomes,
+        }
 
 
 class _RenameAndLimit(Operator):

@@ -33,6 +33,7 @@ from typing import Any, Mapping, Sequence
 
 from repro.errors import (
     DeadlineExceededError,
+    ReproError,
     ServiceClosedError,
 )
 from repro.service.admission import (
@@ -232,6 +233,9 @@ class QueryService:
         self._deferred: dict[str, deque[QueryTicket]] = {}
         self._seq = itertools.count()
         self._closed = False
+        self._autotune_stop: threading.Event | None = None
+        self._autotune_thread: threading.Thread | None = None
+        self._autotune_reports: list[dict] = []
         # Workers hold only a *weak* reference to the service between polls
         # (the ThreadPoolExecutor pattern): a bound-method target would pin
         # the service — and through it the facade, its engine and the
@@ -515,11 +519,64 @@ class QueryService:
             "in_flight": self.in_flight(),
             "tenants": tenants,
             "plan_cache": self._facade.cache_stats(),
+            "migrations": self._facade.describe_migrations(),
+            "autotune": {
+                "running": self._autotune_thread is not None
+                and self._autotune_thread.is_alive(),
+                "passes": len(self._autotune_reports),
+            },
         }
+
+    # -- self-tuning -------------------------------------------------------------------
+    def start_autotune(self, interval_seconds: float = 5.0, policy=None) -> None:
+        """Run :meth:`Estocada.autotune` on a timer until :meth:`stop_autotune`.
+
+        The background advisor observes the statistics the serving threads
+        already gather and migrates drifted placements live — queries keep
+        running throughout (the cutover is an atomic descriptor swap).  One
+        pass runs immediately; later passes fire every ``interval_seconds``.
+        Idempotent: a second call while running only updates nothing.
+        """
+        if self._closed:
+            raise ServiceClosedError("cannot start autotune on a closed service")
+        if self._autotune_thread is not None and self._autotune_thread.is_alive():
+            return
+        stop = threading.Event()
+        self._autotune_stop = stop
+
+        def _loop() -> None:
+            while not stop.is_set():
+                try:
+                    report = self._facade.autotune(policy=policy, cancel=stop)
+                except ReproError as exc:  # keep the loop alive across bad passes
+                    report = {"error": str(exc)}
+                self._autotune_reports.append(report)
+                stop.wait(interval_seconds)
+
+        self._autotune_thread = threading.Thread(
+            target=_loop, name="repro-autotune", daemon=True
+        )
+        self._autotune_thread.start()
+
+    def stop_autotune(self, timeout: float = 30.0) -> None:
+        """Signal the background advisor to stop and wait for it to exit.
+
+        The stop event doubles as the in-flight migration's cancel event, so
+        a migration caught mid-backfill rolls back promptly."""
+        if self._autotune_stop is not None:
+            self._autotune_stop.set()
+        if self._autotune_thread is not None:
+            self._autotune_thread.join(timeout=timeout)
+            self._autotune_thread = None
+
+    def autotune_reports(self) -> list[dict]:
+        """The reports of every background autotune pass so far (oldest first)."""
+        return list(self._autotune_reports)
 
     # -- lifecycle ---------------------------------------------------------------------
     def close(self) -> None:
         """Stop the workers and fail still-queued tickets with ``ServiceClosedError``."""
+        self.stop_autotune()
         with self._cond:
             if self._closed:
                 return
