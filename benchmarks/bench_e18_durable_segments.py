@@ -1,0 +1,203 @@
+"""E18 — durable columnar segments: zone-map pruning vs the in-memory heap walk.
+
+The same 1%-selectivity scan runs over the same rows deployed two ways and
+the wall-clock trajectories are written to ``BENCH_e18.json``:
+
+* **memory** — a plain in-memory relational store: every scan walks the
+  whole heap and evaluates the predicate on every row;
+* **durable** — the same store write-through attached to a WAL + columnar
+  segment backing: the scan is served from frozen segments, and segments
+  whose zone maps provably exclude the predicate are skipped without
+  touching their column blocks.
+
+The fact table's ``ts`` column increases monotonically, so consecutive
+segments hold disjoint ``ts`` ranges — the natural time-series layout where
+zone maps shine.  A second workload hits the dictionary fast path: equality
+on a low-cardinality string column is evaluated on dictionary codes, so only
+matching rows are ever decoded.  The report also times crash recovery
+(replaying the manifest + WAL into a cold store) and compaction.
+
+Acceptance: both paths return the identical bag, and the durable
+segment-skipping scan is ≥ 5x the in-memory full scan on the
+1%-selectivity workload (wall-clock threshold skipped under
+``REPRO_BENCH_SMOKE=1``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import statistics
+import tempfile
+import time
+from collections import Counter
+from pathlib import Path
+
+from repro.stores import RelationalStore
+from repro.stores.base import Predicate, ScanRequest
+from repro.stores.segment import DurableBacking
+
+RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_e18.json"
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+ITERATIONS = 2 if SMOKE else 7
+# ROWS is an exact multiple of SEGMENT_ROWS so every row freezes into a
+# segment — the surviving 1% then lives in real frozen segments instead of
+# the unfrozen tail, and the skip counters describe the whole table.
+ROWS = 20_000 if SMOKE else 240_000
+SEGMENT_ROWS = 2_000 if SMOKE else 4_000
+CHUNK = 10_000
+
+COLUMNS = ("ts", "uid", "category", "price")
+# 1% of rows sit above the threshold; they all land in the last ~1% of
+# segments, so zone maps prune ~99% of the frozen data.
+THRESHOLD = int(ROWS * 0.99)
+RARE_EVERY = 100  # 1% of rows carry the rare category
+
+
+def _rows():
+    for ts in range(ROWS):
+        yield {
+            "ts": ts,
+            "uid": (ts * 2_654_435_761) % 10_000,
+            "category": "rare" if ts % RARE_EVERY == 0 else f"common{ts % 7}",
+            "price": float((ts * 37) % 1_000),
+        }
+
+
+def _load(store) -> None:
+    store.create_table("facts", COLUMNS)
+    chunk = []
+    for row in _rows():
+        chunk.append(row)
+        if len(chunk) >= CHUNK:
+            store.insert("facts", chunk)
+            chunk = []
+    if chunk:
+        store.insert("facts", chunk)
+
+
+WORKLOADS = {
+    # The acceptance workload: a 1%-selectivity range scan on the zone-mapped
+    # time column.
+    "one_percent_ts_scan": (Predicate("ts", ">=", THRESHOLD),),
+    # Dictionary fast path: equality on a low-cardinality string column is
+    # matched on codes, decoding only the 1% of rows that hit.
+    "rare_category_equality": (Predicate("category", "=", "rare"),),
+}
+
+
+def _scan(store, predicates):
+    request = ScanRequest("facts", predicates=tuple(predicates))
+    batches, metrics = store._execute_batches(request, COLUMNS, 1_024)
+    rows = [row for batch in batches for row in batch.rows]
+    return rows, metrics
+
+
+def _measure(store, predicates):
+    _scan(store, predicates)  # warm (decoded-column caches, like a hot store)
+    trajectory = []
+    for _ in range(ITERATIONS):
+        started = time.perf_counter()
+        rows, metrics = _scan(store, predicates)
+        trajectory.append(time.perf_counter() - started)
+    return rows, metrics, trajectory
+
+
+def test_e18_report(capsys):
+    directory = tempfile.mkdtemp(prefix="repro-bench-e18-")
+    try:
+        memory = RelationalStore("memory")
+        _load(memory)
+
+        durable = RelationalStore("durable")
+        backing = DurableBacking(
+            os.path.join(directory, "pg"), segment_rows=SEGMENT_ROWS
+        )
+        load_started = time.perf_counter()
+        durable.attach_durable(backing)
+        _load(durable)
+        load_seconds = time.perf_counter() - load_started
+        frozen = backing.describe()["collections"]["facts"]
+
+        workloads: dict[str, dict] = {}
+        for name, predicates in WORKLOADS.items():
+            memory_rows, _, memory_trajectory = _measure(memory, predicates)
+            durable_rows, metrics, durable_trajectory = _measure(durable, predicates)
+            assert Counter(durable_rows) == Counter(memory_rows), (
+                f"durable scan diverged from the in-memory heap walk on {name}"
+            )
+            memory_mean = statistics.mean(memory_trajectory)
+            durable_mean = statistics.mean(durable_trajectory)
+            workloads[name] = {
+                "rows_returned": len(durable_rows),
+                "memory_mean_seconds": memory_mean,
+                "durable_mean_seconds": durable_mean,
+                "memory_trajectory_seconds": memory_trajectory,
+                "durable_trajectory_seconds": durable_trajectory,
+                "speedup": memory_mean / durable_mean,
+                "segments_scanned": metrics.segments_scanned,
+                "segments_skipped": metrics.segments_skipped,
+                "rows_decoded": metrics.rows_decoded,
+            }
+
+        # Crash recovery: replay manifest + WAL into a cold store.
+        recovery_started = time.perf_counter()
+        recovered = RelationalStore("recovered")
+        recovered.attach_durable(
+            DurableBacking(os.path.join(directory, "pg"), segment_rows=SEGMENT_ROWS)
+        )
+        recovery_seconds = time.perf_counter() - recovery_started
+        assert recovered.collection_size("facts") == ROWS
+
+        compact_started = time.perf_counter()
+        compact_report = durable.compact_durable()
+        compact_seconds = time.perf_counter() - compact_started
+
+        report = {
+            "benchmark": "e18_durable_segments",
+            "iterations": ITERATIONS,
+            "smoke": SMOKE,
+            "rows": ROWS,
+            "segment_rows": SEGMENT_ROWS,
+            "segments_frozen": frozen["segments"],
+            "load_seconds": load_seconds,
+            "recovery_seconds": recovery_seconds,
+            "compact_seconds": compact_seconds,
+            "compact_generation": compact_report["generation"],
+            "workloads": workloads,
+        }
+        RESULT_FILE.write_text(json.dumps(report, indent=2) + "\n")
+
+        with capsys.disabled():
+            print("\n[E18] durable segment scans vs in-memory heap walk")
+            print(
+                f"  {ROWS} rows, {frozen['segments']} segments of {SEGMENT_ROWS}; "
+                f"load {load_seconds:.2f}s, recovery {recovery_seconds:.2f}s, "
+                f"compact {compact_seconds:.2f}s"
+            )
+            for name, entry in workloads.items():
+                print(
+                    f"  {name:24s} {entry['memory_mean_seconds'] * 1e3:8.2f} ms → "
+                    f"{entry['durable_mean_seconds'] * 1e3:8.2f} ms  "
+                    f"({entry['speedup']:.1f}x, skipped "
+                    f"{entry['segments_skipped']}/{entry['segments_skipped'] + entry['segments_scanned']}"
+                    f" segments, decoded {entry['rows_decoded']} rows)"
+                )
+            print(f"  trajectory written to  {RESULT_FILE.name}")
+
+        # Pruning must be real regardless of wall clock: the 1% scan touches
+        # only the tail-end segments.
+        one_percent = workloads["one_percent_ts_scan"]
+        total_segments = one_percent["segments_scanned"] + one_percent["segments_skipped"]
+        assert one_percent["segments_skipped"] >= int(total_segments * 0.9)
+
+        if not SMOKE:
+            # Acceptance: ≥ 5x from zone-map segment skipping on the
+            # 1%-selectivity scan over ≥ 200k rows.
+            speedup = one_percent["speedup"]
+            assert speedup >= 5.0, f"zone-map speedup {speedup:.2f}x below 5x"
+            # The dictionary fast path must never lose to the heap walk.
+            assert workloads["rare_category_equality"]["speedup"] >= 1.0
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)

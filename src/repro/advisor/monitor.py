@@ -12,8 +12,8 @@ store) to detect four kinds of drift:
 * **hot shards** — one shard's observed cardinality grew far beyond the
   mean: the shard key skews and the fan-out/pruning trade-off moved;
 * **cold fragments** — a fragment no query has read while real traffic ran:
-  its space and maintenance cost buy nothing (reported as a drop candidate,
-  never auto-dropped);
+  its space and maintenance cost buy nothing (reported as a drop candidate;
+  auto-retired only when the policy opts in via ``retire_cold``);
 * **chronically stale fragments** — a maintenance backlog that keeps aging:
   the write path cannot keep the placement fresh where it lives.
 
@@ -35,7 +35,13 @@ from repro.stores.base import Store
 from repro.stores.replicated import ReplicatedStore
 from repro.stores.sharded import ShardedStore
 
-__all__ = ["AutotunePolicy", "DriftFinding", "MigrationAction", "DriftMonitor"]
+__all__ = [
+    "AutotunePolicy",
+    "DriftFinding",
+    "MigrationAction",
+    "RetirementAction",
+    "DriftMonitor",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -74,6 +80,28 @@ class MigrationAction:
         }
 
 
+@dataclass(frozen=True, slots=True)
+class RetirementAction:
+    """One planned retirement: drop cold ``fragment`` from the catalog.
+
+    Retirement goes through :meth:`Estocada.drop_fragment`, i.e. the scoped
+    per-relation epoch invalidation path — only cached plans whose queries
+    can reach the fragment's relations re-plan; the store's data stays in
+    place (reclaiming it is the operator's call).
+    """
+
+    fragment: str
+    reason: str
+
+    def describe(self) -> Mapping[str, object]:
+        """JSON-friendly form."""
+        return {
+            "fragment": self.fragment,
+            "retire": True,
+            "reason": self.reason,
+        }
+
+
 @dataclass(slots=True)
 class AutotunePolicy:
     """Thresholds of the drift detectors (conservative by default).
@@ -94,6 +122,10 @@ class AutotunePolicy:
     shard_skew_ratio: float = 3.0
     cold_after_reads: int = 50
     stale_age_writes: int = 100
+    # Opt-in: turn cold-fragment findings into RetirementActions (dropped
+    # through the facade's scoped invalidation path) instead of leaving them
+    # as report-only drop candidates.
+    retire_cold: bool = False
 
 
 class DriftMonitor:
@@ -223,23 +255,42 @@ class DriftMonitor:
         return found
 
     # -- planning ----------------------------------------------------------------------
-    def plan_actions(self, findings: Sequence[DriftFinding] | None = None) -> list[MigrationAction]:
-        """Migration actions for the actionable findings (hot/stale placements).
+    def plan_actions(
+        self, findings: Sequence[DriftFinding] | None = None
+    ) -> "list[MigrationAction | RetirementAction]":
+        """Actions for the actionable findings (hot/stale placements, cold drops).
 
-        Cold fragments become *drop candidates* for the advisor, never
-        automatic migrations or drops.  At most one action per fragment; the
+        Cold fragments become *drop candidates* for the advisor by default;
+        with the policy's ``retire_cold`` set they become
+        :class:`RetirementAction` items the facade drops through its scoped
+        invalidation path.  At most one action per fragment; a migration's
         target is the cheapest registered store (lowest simulated service
         latency) that can host the fragment and differs from its current
         home.
         """
         if findings is None:
             findings = self.findings()
-        actions: list[MigrationAction] = []
+        actions: "list[MigrationAction | RetirementAction]" = []
         planned: set[str] = set()
         for finding in findings:
-            if finding.kind not in {"hot_fragment", "hot_shard", "stale_fragment"}:
-                continue
             if finding.fragment in planned:
+                continue
+            if finding.kind == "cold_fragment":
+                if not self._policy.retire_cold:
+                    continue
+                try:
+                    self._estocada.catalog.fragment(finding.fragment)
+                except UnknownFragmentError:  # raced with a concurrent drop
+                    continue
+                planned.add(finding.fragment)
+                actions.append(
+                    RetirementAction(
+                        fragment=finding.fragment,
+                        reason=f"{finding.kind}: {finding.detail}",
+                    )
+                )
+                continue
+            if finding.kind not in {"hot_fragment", "hot_shard", "stale_fragment"}:
                 continue
             try:
                 descriptor = self._estocada.catalog.fragment(finding.fragment)

@@ -502,6 +502,28 @@ class MaintenanceEngine:
         for entry in watched.pending:
             self._statistics.note_pending_delta(name, entry.row_volume, entry.seq)
 
+    # -- durable compaction ------------------------------------------------------------
+    def compact_durable(self, stores: Mapping[str, "object"]) -> Mapping[str, object]:
+        """Fold every durable store's WAL tail into fresh segments.
+
+        One explicit compaction pass over ``stores`` (name → store), under
+        the maintenance lock so no delta application interleaves with the
+        generation swap.  Stores without a durable backing report nothing.
+        The *write* path needs no equivalent here: each store's
+        ``apply_delta`` already appends its delta records to the WAL as the
+        delta lands, so compaction only ever folds, never catches up.
+        """
+        reports: dict[str, object] = {}
+        with self._lock:
+            for name, store in stores.items():
+                compact = getattr(store, "compact_durable", None)
+                if compact is None:
+                    continue
+                report = compact()
+                if report is not None:
+                    reports[name] = report
+        return reports
+
     # -- introspection -----------------------------------------------------------------
     def describe(self) -> Mapping[str, object]:
         """JSON-friendly maintenance state (facade introspection)."""

@@ -341,6 +341,13 @@ class CostModel:
         scanned = stats.cardinality
         if has_index and constant_columns:
             scanned = max(estimate.estimated_rows, 1.0)
+        else:
+            fraction = self._segment_fraction(access)
+            if fraction is not None:
+                # Durable deployments serve unindexed scans from frozen
+                # segments; the backing knows which segments the equality
+                # constants exclude, so only the survivors are priced.
+                scanned *= fraction
         spec = access.descriptor.sharding
         if spec is not None:
             scan_cost = self._sharded_scan_cost(access, spec, stats, profile, scanned)
@@ -358,6 +365,26 @@ class CostModel:
         else:
             output = estimate.estimated_rows
         return scan_cost + staleness_penalty, output
+
+    def _segment_fraction(self, access: AtomAccess) -> float | None:
+        """Zone-map survival fraction of a delegated full scan, when known.
+
+        Maps the atom's equality constants onto store-side columns and asks
+        the store how much of the collection survives segment pruning; None
+        when the store has no durable backing (or no frozen segments yet).
+        """
+        fraction_of = getattr(access.store, "segment_scan_fraction", None)
+        if fraction_of is None:
+            return None
+        layout = access.descriptor.layout
+        from repro.runtime.kernels import ZoneBound
+
+        bounds = tuple(
+            ZoneBound(layout.store_column(column), "=", value)
+            for column, value in access.constant_by_column().items()
+            if value is not None
+        )
+        return fraction_of(layout.collection, bounds)
 
     def _sharded_scan_cost(
         self,

@@ -115,6 +115,35 @@ class KeyNotFoundError(StoreError):
 
 
 # ---------------------------------------------------------------------------
+# Durable storage (WAL + columnar segments)
+# ---------------------------------------------------------------------------
+
+class DurabilityError(StoreError):
+    """Base class for errors raised by the durable segment backing."""
+
+
+class WalCorruptionError(DurabilityError):
+    """A WAL frame failed its CRC or structural check *before* the tail.
+
+    A torn **final** frame is expected after a crash and is silently dropped
+    by recovery; corruption anywhere earlier means the log cannot be trusted
+    and recovery refuses to proceed past it.
+    """
+
+
+class SegmentCorruptError(DurabilityError):
+    """A segment file is unreadable: bad magic, short read, or CRC mismatch."""
+
+
+class SimulatedCrashError(DurabilityError):
+    """An injected crash fired inside the WAL append/fsync window.
+
+    Raised by the disk fault injector's crash hook; tests catch it, reopen
+    the directory, and assert recovery restores the pre-crash state.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Write path / fragment maintenance
 # ---------------------------------------------------------------------------
 

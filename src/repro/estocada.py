@@ -85,6 +85,26 @@ def service_routing_enabled() -> bool:
     return os.environ.get("REPRO_SERVICE", "0") == "1"
 
 
+def _resolve_durable_path(durable_path: str | None) -> str | None:
+    """Where the facade's stores persist, or None for purely in-memory.
+
+    An explicit ``durable_path=`` wins; otherwise ``REPRO_DURABLE`` opts in —
+    a bare ``1``/``true`` gets a fresh temporary directory (the CI tier-1
+    durable run uses this), any other non-empty value is taken as the
+    directory itself.
+    """
+    if durable_path is not None:
+        return str(durable_path)
+    raw = os.environ.get("REPRO_DURABLE", "").strip()
+    if not raw or raw.lower() in {"0", "false", "no", "off"}:
+        return None
+    if raw.lower() in {"1", "true", "yes", "on"}:
+        import tempfile
+
+        return tempfile.mkdtemp(prefix="repro-durable-")
+    return raw
+
+
 @dataclass(slots=True)
 class Explanation:
     """Everything the demo shows for one query: pivot form, rewritings, plans."""
@@ -331,7 +351,9 @@ class Estocada:
         parallelism: int | None = None,
         drift_threshold: float = 0.5,
         batch_size: int | None = None,
+        durable_path: str | None = None,
     ) -> None:
+        self._durable_path = _resolve_durable_path(durable_path)
         self._manager = StorageDescriptorManager()
         self._statistics = StatisticsCatalog(self._manager)
         self._cost_model = CostModel(self._statistics, profiles=cost_profiles)
@@ -396,7 +418,20 @@ class Estocada:
         }
 
     def register_store(self, name: str, store: Store) -> None:
-        """Register an underlying DMS under ``name``."""
+        """Register an underlying DMS under ``name``.
+
+        On a durable facade (``durable_path=`` or ``REPRO_DURABLE``) the
+        store gets its own :class:`~repro.stores.segment.DurableBacking` in a
+        per-store subdirectory: existing segments and WAL records are
+        recovered into the store before registration returns, and every
+        subsequent write is logged.
+        """
+        if self._durable_path is not None and store.durable_backing() is None:
+            from repro.stores.segment import DurableBacking
+
+            store.attach_durable(
+                DurableBacking(os.path.join(self._durable_path, name))
+            )
         self._manager.register_store(name, store)
 
     def register_sharded_store(
@@ -787,6 +822,21 @@ class Estocada:
                 with self._planning_lock:
                     self._manager.note_data_write(freshened)
 
+    @property
+    def durable_path(self) -> str | None:
+        """The directory the facade's stores persist under (None = in-memory)."""
+        return self._durable_path
+
+    def compact(self) -> Mapping[str, object]:
+        """Fold every store's WAL tail into fresh segments (see the backing).
+
+        Delegates to the maintenance engine's
+        :meth:`~repro.catalog.maintenance.MaintenanceEngine.compact_durable`
+        over the registered stores; a no-op (empty report) on an in-memory
+        facade.
+        """
+        return self._maintenance.compact_durable(self._manager.stores())
+
     def staleness(self, fragment: str | None = None):
         """One fragment's :class:`FragmentStaleness`, or every backlog's snapshot."""
         if fragment is not None:
@@ -1055,8 +1105,18 @@ class Estocada:
             selected = self._select_for_staleness(explanation, max_staleness)
         root: Operator = selected.plan.root
         root = self._apply_residual(root, pivot_query, output_names, residual, aggregation, extras)
+        # Residual comparisons double as scan hints: leaves that output the
+        # compared variable narrow their store request with the bound, which a
+        # durable backing turns into zone-map segment skipping.  The mediator
+        # filter above still applies, so answers are unchanged.
+        scan_hints = tuple(
+            (p.variable, p.op, p.value) for p in residual if not p.value_is_column
+        )
         result = self._engine.execute(
-            root, parallelism=parallelism, deadline_seconds=deadline_seconds
+            root,
+            parallelism=parallelism,
+            deadline_seconds=deadline_seconds,
+            scan_hints=scan_hints,
         )
         result.cache_hit = cache_hit
         sharding_note = ""
@@ -1300,20 +1360,37 @@ class Estocada:
         :meth:`repro.service.QueryService.start_autotune`).
 
         Returns a JSON-friendly report: ``findings`` (all drift symptoms,
-        most severe first), ``actions`` (the planned migrations) and
-        ``migrations`` (per-action outcome with the final phase).
+        most severe first), ``actions`` (the planned migrations and — with
+        the policy's ``retire_cold`` set — cold-fragment retirements),
+        ``migrations`` (per-migration outcome with the final phase) and
+        ``retirements`` (per-retirement outcome; a retirement drops the
+        fragment through :meth:`drop_fragment`, i.e. the scoped epoch
+        invalidation path).
         """
-        from repro.advisor.monitor import DriftMonitor
-        from repro.errors import MigrationError
+        from repro.advisor.monitor import DriftMonitor, RetirementAction
+        from repro.errors import MigrationError, UnknownFragmentError
 
         monitor = DriftMonitor(self, policy)
         findings = monitor.findings()
         actions = monitor.plan_actions(findings)
         outcomes: list[dict] = []
+        retirements: list[dict] = []
         if apply:
             for action in actions:
                 if cancel is not None and cancel.is_set():
                     break
+                if isinstance(action, RetirementAction):
+                    try:
+                        self.drop_fragment(action.fragment)
+                    except UnknownFragmentError as exc:
+                        retirements.append(
+                            {**action.describe(), "phase": "failed", "error": str(exc)}
+                        )
+                    else:
+                        retirements.append(
+                            {**action.describe(), "phase": "retired", "error": None}
+                        )
+                    continue
                 if self.migrations.active() is not None:
                     outcomes.append(
                         {**action.describe(), "phase": "skipped",
@@ -1334,6 +1411,7 @@ class Estocada:
             "findings": [finding.describe() for finding in findings],
             "actions": [action.describe() for action in actions],
             "migrations": outcomes,
+            "retirements": retirements,
         }
 
 

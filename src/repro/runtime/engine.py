@@ -60,6 +60,9 @@ class StoreBreakdown:
     replica_retries: int = 0
     replica_hedges: int = 0
     replica_failovers: int = 0
+    segments_scanned: int = 0
+    segments_skipped: int = 0
+    rows_decoded: int = 0
 
 
 @dataclass(slots=True)
@@ -116,6 +119,20 @@ class QueryResult:
             "failovers": sum(b.replica_failovers for b in self.store_breakdown.values()),
         }
 
+    def segment_activity(self) -> Mapping[str, int]:
+        """Durable-segment work done during this query.
+
+        ``scanned`` counts the segments whose column blocks were actually
+        decoded, ``skipped`` the segments a zone map excluded without reading
+        a block, and ``rows_decoded`` the rows materialized from scanned
+        segments.  All zero for queries served purely from memory.
+        """
+        return {
+            "scanned": sum(b.segments_scanned for b in self.store_breakdown.values()),
+            "skipped": sum(b.segments_skipped for b in self.store_breakdown.values()),
+            "rows_decoded": sum(b.rows_decoded for b in self.store_breakdown.values()),
+        }
+
     def summary(self) -> Mapping[str, object]:
         """A JSON-friendly summary (used by the demo-style reporting)."""
         return {
@@ -131,6 +148,7 @@ class QueryResult:
                 "pruned": self.shards_pruned,
             },
             "replicas": dict(self.replica_activity()),
+            "segments": dict(self.segment_activity()),
             "execution": {
                 "batch_size": self.batch_size,
                 "compiled": self.compiled,
@@ -223,6 +241,7 @@ class ExecutionEngine:
         batch_size: int | None = None,
         parallelism: int | None = None,
         deadline_seconds: float | None = None,
+        scan_hints: tuple[tuple[str, str, object], ...] = (),
     ) -> QueryResult:
         """Run ``plan`` and return its result with the performance breakdown.
 
@@ -238,6 +257,7 @@ class ExecutionEngine:
         context = ExecutionContext(
             parameters=dict(parameters or {}),
             batch_size=batch_size or self._batch_size,
+            scan_hints=scan_hints,
         )
         deadline: Deadline | None = None
         previous_cancel = None
@@ -311,6 +331,9 @@ class ExecutionEngine:
             entry.replica_retries += metrics.replica_retries
             entry.replica_hedges += metrics.replica_hedges
             entry.replica_failovers += metrics.replica_failovers
+            entry.segments_scanned += metrics.segments_scanned
+            entry.segments_skipped += metrics.segments_skipped
+            entry.rows_decoded += metrics.rows_decoded
 
         observed: dict[str, int] = {}
         observed_shards: dict[str, dict[int, int]] = {}

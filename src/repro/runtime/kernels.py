@@ -44,6 +44,8 @@ __all__ = [
     "compiled_enabled",
     "fusion_enabled",
     "PredicateSpec",
+    "ZoneBound",
+    "extract_zone_bounds",
     "predicate_kernel",
     "projection_kernel",
     "key_kernel",
@@ -79,6 +81,46 @@ class PredicateSpec:
         """Compact rendering for plan text."""
         target = self.value if self.value_is_column else repr(self.value)
         return f"{self.column} {self.op} {target}"
+
+
+@dataclass(frozen=True, slots=True)
+class ZoneBound:
+    """One literal comparison usable for zone-map segment pruning.
+
+    The durable segment engine compares these against a segment's per-column
+    min/max to decide whether the segment can possibly contain a matching
+    row.  Only comparisons against a non-None **literal** qualify:
+    column-to-column comparisons and ``None`` literals carry no prunable
+    bound (``= None`` matches nulls, which zone min/max does not describe).
+    """
+
+    column: str
+    op: str
+    value: object
+
+
+def extract_zone_bounds(predicates: Sequence) -> tuple[ZoneBound, ...]:
+    """The prunable bounds of a predicate conjunction.
+
+    Accepts both runtime :class:`PredicateSpec` objects and store-layer
+    ``Predicate`` objects (anything with ``column``/``op``/``value``; a
+    truthy ``value_is_column`` disqualifies the comparison).  The result is
+    what :meth:`repro.stores.segment.segments.SegmentReader.excluded_by`
+    consumes, and what the cost model feeds into
+    ``Store.segment_scan_fraction`` when pricing delegated scans.
+    """
+    bounds: list[ZoneBound] = []
+    for predicate in predicates:
+        if getattr(predicate, "value_is_column", False):
+            continue
+        op = predicate.op
+        if op not in COMPARATORS:
+            continue
+        value = predicate.value
+        if value is None:
+            continue
+        bounds.append(ZoneBound(predicate.column, op, value))
+    return tuple(bounds)
 
 
 def predicate_kernel(specs: Sequence[PredicateSpec], schema: Sequence[str]) -> RowsKernel:

@@ -26,7 +26,7 @@ Operators hold no per-execution state, so one plan can be executed many times
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterator, Mapping, Sequence
 
 from repro.errors import ExecutionError
@@ -39,7 +39,14 @@ from repro.runtime.batch import (
     freeze_value,
 )
 from repro.runtime.values import Binding, nest_rows
-from repro.stores.base import ScanRequest, Store, StoreMetrics, StoreRequest, StoreResult
+from repro.stores.base import (
+    Predicate,
+    ScanRequest,
+    Store,
+    StoreMetrics,
+    StoreRequest,
+    StoreResult,
+)
 
 __all__ = [
     "ConcurrencyTracker",
@@ -139,6 +146,11 @@ class ExecutionContext:
 
     parameters: dict[str, object] = field(default_factory=dict)
     batch_size: int = DEFAULT_BATCH_SIZE
+    # Residual comparison predicates in pivot-variable form, pushed into leaf
+    # scans at execution time: (variable, op, value) triples.  Stores re-check
+    # predicates anyway, so the hints only *narrow* what leaves read — on a
+    # durable backing they become zone-map bounds that skip whole segments.
+    scan_hints: tuple[tuple[str, str, object], ...] = ()
     store_results: list[tuple[str, StoreMetrics]] = field(default_factory=list)
     runtime_rows_processed: int = 0
     pool: object | None = None
@@ -188,6 +200,7 @@ class ExecutionContext:
         return ExecutionContext(
             parameters=self.parameters,
             batch_size=self.batch_size,
+            scan_hints=self.scan_hints,
             tracker=self.tracker,
             failure=self.failure,
             deadline=self.deadline,
@@ -339,6 +352,31 @@ class DelegatedRequest(Operator):
             return self._batches_native(context)
         return self._batches_interpreted(context)
 
+    def _hinted_request(self, context: ExecutionContext) -> tuple[StoreRequest, bool]:
+        """Fold the context's scan hints into this leaf's scan request.
+
+        A hint applies when this leaf outputs the hinted variable; its store
+        column comes from inverting ``output``.  The mediator still applies
+        the residual filter above, so the pushed predicate is a pure
+        narrowing — store comparators share the runtime's None semantics
+        (inequalities on missing values are False on both sides).  Plans are
+        cached and shared across executions, so the stored request is never
+        mutated: an augmented copy is built per execution.
+        """
+        request = self._request
+        hints = context.scan_hints
+        if not hints or not isinstance(request, ScanRequest):
+            return request, False
+        column_of = {variable: column for column, variable in self._output.items()}
+        extra = tuple(
+            Predicate(column_of[variable], op, value)
+            for variable, op, value in hints
+            if variable in column_of
+        )
+        if not extra:
+            return request, False
+        return replace(request, predicates=request.predicates + extra), True
+
     def _batches_native(self, context: ExecutionContext) -> Iterator[RowBatch]:
         """Compiled path: the store streams row-tuple batches end-to-end.
 
@@ -360,9 +398,8 @@ class DelegatedRequest(Operator):
             for column, value in self._constants.items()
         )
         width = len(store_columns)
-        stream = self._store.execute_batches(
-            self._request, fetch_columns, context.batch_size
-        )
+        request, hinted = self._hinted_request(context)
+        stream = self._store.execute_batches(request, fetch_columns, context.batch_size)
         batches = iter(stream)
         context.tracker.enter()
         try:
@@ -390,12 +427,15 @@ class DelegatedRequest(Operator):
                     stream.metrics.partitions_used, stream.metrics.partitions_pruned
                 )
             context.tracker.exit()
-        if self._observable:
+        # A hinted scan is filtered, so its row count is not a fragment
+        # cardinality — recording it would poison the statistics feedback.
+        if self._observable and not hinted:
             context.observe(self._fragment, stream.metrics.rows_returned, self._shard)
 
     def _batches_interpreted(self, context: ExecutionContext) -> Iterator[RowBatch]:
         """Fallback path (``REPRO_COMPILED=0``): dict rows repacked per row."""
-        stream = self._store.execute_stream(self._request, context.batch_size)
+        request, hinted = self._hinted_request(context)
+        stream = self._store.execute_stream(request, context.batch_size)
         chunks = iter(stream)
         store_columns = tuple(self._output)
         schema = tuple(self._output[column] for column in store_columns)
@@ -429,8 +469,9 @@ class DelegatedRequest(Operator):
             context.tracker.exit()
         # Only reached when the stream ran to exhaustion (an abandoned
         # generator never resumes past the finally): the full-scan row count
-        # is a trustworthy cardinality observation for the fragment.
-        if self._observable:
+        # is a trustworthy cardinality observation for the fragment — unless
+        # scan hints filtered the stream.
+        if self._observable and not hinted:
             context.observe(self._fragment, stream.metrics.rows_returned, self._shard)
 
     def describe(self) -> str:

@@ -153,6 +153,12 @@ class StoreMetrics:
     attempts the request took, how many were same-replica retries, how many
     backup (hedged) requests were fired, and how many times the request moved
     on to another replica after a hard failure.
+
+    ``segments_scanned`` / ``segments_skipped`` / ``rows_decoded`` are
+    populated only by scans served from a durable segment backing: how many
+    frozen segments the scan actually opened, how many its zone maps proved
+    irrelevant without touching their column blocks, and how many stored
+    rows were decoded (the rows of opened segments plus the unfrozen tail).
     """
 
     rows_scanned: int = 0
@@ -165,6 +171,9 @@ class StoreMetrics:
     replica_retries: int = 0
     replica_hedges: int = 0
     replica_failovers: int = 0
+    segments_scanned: int = 0
+    segments_skipped: int = 0
+    rows_decoded: int = 0
 
     def merge(self, other: "StoreMetrics") -> "StoreMetrics":
         """Combine the metrics of two requests (used by composite requests)."""
@@ -179,6 +188,9 @@ class StoreMetrics:
             replica_retries=self.replica_retries + other.replica_retries,
             replica_hedges=self.replica_hedges + other.replica_hedges,
             replica_failovers=self.replica_failovers + other.replica_failovers,
+            segments_scanned=self.segments_scanned + other.segments_scanned,
+            segments_skipped=self.segments_skipped + other.segments_skipped,
+            rows_decoded=self.rows_decoded + other.rows_decoded,
         )
 
 
@@ -223,6 +235,28 @@ def batch_tuples(
             chunk = []
     if chunk:
         yield RowBatch(columns, chunk)
+
+
+class _DurableSilence:
+    """Reentrant guard suppressing durable logging inside a ``with`` block.
+
+    Used during recovery replay (re-applying a record must not re-log it)
+    and by compound writes built from other logged writes (e.g. a document
+    delta whose inserts go through ``insert``): the outermost operation logs
+    one record, the nested calls stay quiet.  A counter rather than a flag,
+    so nested silences compose.
+    """
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: "Store") -> None:
+        self._store = store
+
+    def __enter__(self) -> None:
+        self._store._durable_quiet += 1
+
+    def __exit__(self, *exc_info) -> None:
+        self._store._durable_quiet -= 1
 
 
 class _MetricsStream:
@@ -297,6 +331,9 @@ class _MetricsStream:
                 replica_retries=self._base_metrics.replica_retries,
                 replica_hedges=self._base_metrics.replica_hedges,
                 replica_failovers=self._base_metrics.replica_failovers,
+                segments_scanned=self._base_metrics.segments_scanned,
+                segments_skipped=self._base_metrics.segments_skipped,
+                rows_decoded=self._base_metrics.rows_decoded,
             )
             self._store._note_request(self.metrics)
 
@@ -427,6 +464,8 @@ class Store:
         self._requests_served = 0
         self._latency = max(0.0, latency)
         self._metrics_lock = threading.Lock()
+        self._durable = None
+        self._durable_quiet = 0
 
     @property
     def simulated_latency(self) -> float:
@@ -520,6 +559,93 @@ class Store:
         instead of propagating deltas.
         """
         raise self._reject("truncation")
+
+    # -- durable backing ----------------------------------------------------------
+    def attach_durable(self, backing) -> None:
+        """Attach a WAL+segment :class:`~repro.stores.segment.DurableBacking`.
+
+        Attaching recovers any state persisted in the backing's directory
+        into this store (via :meth:`_durable_replay`); if the directory is
+        empty but the store already holds data, the contents are snapshotted
+        so durability starts complete.  From then on the store's write
+        operations append WAL records through :meth:`_durable_log`.  Only
+        stores that implement the replay/dump hooks actually persist
+        anything; attaching to any other store is a harmless no-op backing.
+        """
+        if self._durable is not None:
+            raise StoreError(f"store {self.name!r} already has a durable backing")
+        backing.attach(self)
+        self._durable = backing
+
+    def durable_backing(self):
+        """The attached durable backing, or None."""
+        return self._durable
+
+    def compact_durable(self) -> Mapping[str, object] | None:
+        """Merge the WAL tail + segments into a fresh segment generation.
+
+        Returns the backing's compaction report, or None when the store has
+        no durable backing (or no durable dump to compact).
+        """
+        backing = self._durable
+        if backing is None:
+            return None
+        return backing.compact()
+
+    def segment_scan_fraction(self, collection: str, bounds) -> float | None:
+        """Expected fraction of ``collection`` a scan touches after pruning.
+
+        The cost model calls this with the query's literal bounds
+        (:class:`~repro.runtime.kernels.ZoneBound`) to price delegated scans
+        by segments-after-pruning; None means no zone-map statistics exist.
+        """
+        backing = self._durable
+        if backing is None:
+            return None
+        from repro.stores.segment.backing import segment_scan_enabled
+
+        if not segment_scan_enabled():
+            # Scans are not served from segments, so pruning never happens;
+            # pricing by the pruned fraction would undercost the full scan.
+            return None
+        return backing.scan_fraction(collection, bounds)
+
+    # Subclass protocol: a store that opts into durability calls
+    # ``_durable_log`` after each successful write, implements
+    # ``_durable_replay`` to re-apply a logged record during recovery, and
+    # ``_durable_dump`` to snapshot its full state for compaction.
+    def _durable_log(self, record: Mapping[str, object]) -> None:
+        backing = self._durable
+        if backing is not None and not self._durable_quiet:
+            backing.log(record)
+
+    def _durable_silence(self):
+        """Context manager suppressing :meth:`_durable_log` (replay, nesting)."""
+        return _DurableSilence(self)
+
+    def _durable_replay(self, record: Mapping[str, object]) -> None:
+        """Re-apply one recovered WAL/manifest record (default: not durable)."""
+
+    def _durable_dump(self) -> Mapping[str, Mapping[str, object]] | None:
+        """Full-state snapshot for compaction, or None when not durable.
+
+        The shape is ``{collection: {"columns": ..., "meta": ..., "rows":
+        [native row dicts]}}``; ``columns`` is the declared schema (None for
+        ragged collections) and ``meta`` whatever ``_durable_replay`` needs
+        to rebuild schema-level state (keys, indexes).
+        """
+        return None
+
+    def _durable_scan_source(self, request: StoreRequest):
+        """The backing able to serve this scan from segments, or None."""
+        backing = self._durable
+        if backing is None or not isinstance(request, ScanRequest):
+            return None
+        from repro.stores.segment.backing import segment_scan_enabled
+
+        if not segment_scan_enabled() or not backing.has_segments(request.collection):
+            return None
+        return backing
 
     # -- public API -------------------------------------------------------------
     def execute(self, request: StoreRequest) -> StoreResult:

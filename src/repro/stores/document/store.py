@@ -71,7 +71,9 @@ class DocumentStore(Store):
     # -- collection management -----------------------------------------------------
     def create_collection(self, name: str) -> None:
         """Create an empty collection (idempotent)."""
-        self._collections.setdefault(name, [])
+        if name not in self._collections:
+            self._collections[name] = []
+            self._durable_log({"kind": "create", "collection": name})
 
     def drop_collection(self, name: str) -> None:
         """Drop a collection and its indexes."""
@@ -81,11 +83,12 @@ class DocumentStore(Store):
         self._indexes = {
             key: value for key, value in self._indexes.items() if key[0] != name
         }
+        self._durable_log({"kind": "drop", "collection": name})
 
     def insert(self, collection: str, documents: Iterable[Mapping[str, object]]) -> int:
         """Insert documents into a collection (created on demand)."""
         bucket = self._collections.setdefault(collection, [])
-        count = 0
+        inserted: list[dict[str, object]] = []
         for document in documents:
             if not isinstance(document, Mapping):
                 raise SchemaError("documents must be mappings")
@@ -95,8 +98,10 @@ class DocumentStore(Store):
             for (indexed_collection, path), index in self._indexes.items():
                 if indexed_collection == collection:
                     index.setdefault(get_path(stored, path), []).append(position)
-            count += 1
-        return count
+            inserted.append(stored)
+        if inserted:
+            self._durable_log({"kind": "rows", "collection": collection, "rows": inserted})
+        return len(inserted)
 
     def create_index(self, collection: str, path: str) -> None:
         """Create a single-field index on a dotted path."""
@@ -107,6 +112,7 @@ class DocumentStore(Store):
         for position, document in enumerate(documents):
             index.setdefault(get_path(document, path), []).append(position)
         self._indexes[(collection, path)] = index
+        self._durable_log({"kind": "index", "collection": collection, "column": path})
 
     def apply_delta(
         self,
@@ -134,16 +140,65 @@ class DocumentStore(Store):
             del documents[position]
         # Indexes are positional; removals shift everything after them.
         self._rebuild_indexes(collection)
-        return len(doomed) + self.insert(collection, inserts)
+        with self._durable_silence():  # the delta record covers the inserts
+            touched = len(doomed) + self.insert(collection, inserts)
+        if deletes or inserts:
+            self._durable_log(
+                {
+                    "kind": "delta",
+                    "collection": collection,
+                    "inserts": [dict(document) for document in inserts],
+                    "deletes": [dict(document) for document in deletes],
+                }
+            )
+        return touched
 
     def truncate_collection(self, collection: str) -> None:
         self._documents(collection).clear()
         self._rebuild_indexes(collection)
+        self._durable_log({"kind": "truncate", "collection": collection})
 
     def _rebuild_indexes(self, collection: str) -> None:
-        for indexed_collection, path in list(self._indexes):
-            if indexed_collection == collection:
-                self.create_index(collection, path)
+        with self._durable_silence():  # rebuilding is not a new index definition
+            for indexed_collection, path in list(self._indexes):
+                if indexed_collection == collection:
+                    self.create_index(collection, path)
+
+    # -- durability hooks --------------------------------------------------------
+    def _durable_replay(self, record: Mapping[str, object]) -> None:
+        kind = record.get("kind")
+        collection = record.get("collection")
+        if kind == "create":
+            self.create_collection(collection)
+        elif kind == "rows":
+            self.insert(collection, record["rows"])
+        elif kind == "delta":
+            self.apply_delta(
+                collection,
+                inserts=record.get("inserts", ()),
+                deletes=record.get("deletes", ()),
+            )
+        elif kind == "truncate":
+            self.truncate_collection(collection)
+        elif kind == "index":
+            self.create_index(collection, record["column"])
+        elif kind == "drop":
+            if collection in self._collections:
+                self.drop_collection(collection)
+
+    def _durable_dump(self) -> Mapping[str, Mapping[str, object]]:
+        return {
+            name: {
+                "columns": None,  # ragged documents: segment schemas are per-freeze
+                "meta": {
+                    "indexes": sorted(
+                        path for c, path in self._indexes if c == name
+                    ),
+                },
+                "rows": [dict(document) for document in documents],
+            }
+            for name, documents in self._collections.items()
+        }
 
     # -- store interface ---------------------------------------------------------------
     def capabilities(self) -> StoreCapabilities:
@@ -264,6 +319,19 @@ class DocumentStore(Store):
                 candidate_positions = positions
 
         if candidate_positions is None:
+            # No index narrows this scan: serve it from the durable segments
+            # when they exist.  Dotted-path predicates are flagged so the
+            # backing reconstructs documents for them instead of comparing
+            # top-level column positions.
+            backing = self._durable_scan_source(request)
+            if backing is not None:
+                return backing.scan_batches(
+                    request,
+                    columns,
+                    batch_size,
+                    evaluate=self._evaluate,
+                    dotted=True,
+                )
             candidates: Sequence[dict[str, object]] = documents
         else:
             candidates = [documents[p] for p in candidate_positions]

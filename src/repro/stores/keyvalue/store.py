@@ -51,16 +51,29 @@ class KeyValueStore(Store):
     # -- native API ------------------------------------------------------------------
     def create_collection(self, name: str) -> None:
         """Create an empty collection (idempotent)."""
-        self._collections.setdefault(name, {})
+        if name not in self._collections:
+            self._collections[name] = {}
+            self._durable_log({"kind": "create", "collection": name, "columns": None})
 
     def put(self, collection: str, key: object, value: object) -> None:
         """Store ``value`` under ``key``."""
         self._collections.setdefault(collection, {})[key] = value
+        self._durable_log(
+            {"kind": "put", "collection": collection, "entries": [[key, value]]}
+        )
 
     def put_many(self, collection: str, entries: Mapping[object, object]) -> int:
         """Store several entries; returns how many were written."""
         bucket = self._collections.setdefault(collection, {})
         bucket.update(entries)
+        if entries:
+            self._durable_log(
+                {
+                    "kind": "put",
+                    "collection": collection,
+                    "entries": [[key, value] for key, value in entries.items()],
+                }
+            )
         return len(entries)
 
     def get(self, collection: str, key: object, missing_ok: bool = True) -> object | None:
@@ -80,7 +93,12 @@ class KeyValueStore(Store):
     def delete(self, collection: str, key: object) -> bool:
         """Delete a key; returns True when it existed."""
         bucket = self._collection(collection)
-        return bucket.pop(key, _MISSING) is not _MISSING
+        existed = bucket.pop(key, _MISSING) is not _MISSING
+        if existed:
+            self._durable_log(
+                {"kind": "delete_keys", "collection": collection, "keys": [key]}
+            )
+        return existed
 
     def keys(self, collection: str) -> Sequence[object]:
         """All keys of a collection (administrative operation, not a query path)."""
@@ -101,6 +119,9 @@ class KeyValueStore(Store):
         here so :meth:`apply_delta` can route them.
         """
         self._key_columns[collection] = column
+        self._durable_log(
+            {"kind": "key_column", "collection": collection, "column": column}
+        )
 
     def apply_delta(
         self,
@@ -125,10 +146,78 @@ class KeyValueStore(Store):
         for insert in inserts:
             # Keep the key inside the value, matching the materialization path.
             bucket[insert.get(key_column)] = dict(insert)
+        if deletes or inserts:
+            self._durable_log(
+                {
+                    "kind": "delta",
+                    "collection": collection,
+                    "inserts": [dict(insert) for insert in inserts],
+                    "deletes": [dict(delete) for delete in deletes],
+                }
+            )
         return len(deletes) + len(inserts)
 
     def truncate_collection(self, collection: str) -> None:
         self._collection(collection).clear()
+        self._durable_log({"kind": "truncate", "collection": collection})
+
+    # -- durability hooks --------------------------------------------------------
+    def _durable_replay(self, record: Mapping[str, object]) -> None:
+        kind = record.get("kind")
+        collection = record.get("collection")
+        if kind == "create":
+            self.create_collection(collection)
+        elif kind == "key_column":
+            self.set_key_column(collection, record["column"])
+        elif kind == "put":
+            bucket = self._collections.setdefault(collection, {})
+            for key, value in record["entries"]:
+                bucket[key] = value
+        elif kind == "rows":
+            # Compacted generations dump entries as {key, value} rows.
+            bucket = self._collections.setdefault(collection, {})
+            for row in record["rows"]:
+                bucket[row["key"]] = row["value"]
+        elif kind == "delete_keys":
+            bucket = self._collections.setdefault(collection, {})
+            for key in record["keys"]:
+                bucket.pop(key, None)
+        elif kind == "delta":
+            self.apply_delta(
+                collection,
+                inserts=record.get("inserts", ()),
+                deletes=record.get("deletes", ()),
+            )
+        elif kind == "truncate":
+            if collection in self._collections:
+                self.truncate_collection(collection)
+        elif kind == "drop":
+            self._collections.pop(collection, None)
+            self._key_columns.pop(collection, None)
+
+    def _durable_dump(self) -> Mapping[str, Mapping[str, object]]:
+        dump: dict[str, Mapping[str, object]] = {}
+        for name, bucket in self._collections.items():
+            meta: dict[str, object] = {}
+            key_column = self._key_columns.get(name)
+            if key_column is not None:
+                meta["key_column"] = key_column
+            dump[name] = {
+                "columns": None,
+                "meta": meta,
+                "rows": [{"key": key, "value": value} for key, value in bucket.items()],
+            }
+        return dump
+
+    def _durable_scan_source(self, request: StoreRequest):
+        # Key-value semantics are last-write-wins by key; append-only segments
+        # would replay superseded puts, so scans never serve from the backing.
+        return None
+
+    def segment_scan_fraction(self, collection: str, bounds) -> float | None:
+        # Scans never serve from segments here (see _durable_scan_source), so
+        # the cost model must not price them as if pruning applied.
+        return None
 
     # -- store interface -----------------------------------------------------------------
     def capabilities(self) -> StoreCapabilities:

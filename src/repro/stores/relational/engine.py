@@ -46,6 +46,14 @@ class RelationalStore(Store):
             raise StoreError(f"table {name!r} already exists in store {self.name!r}")
         table = Table(name, columns, primary_key)
         self._tables[name] = table
+        self._durable_log(
+            {
+                "kind": "create",
+                "collection": name,
+                "columns": table.columns,
+                "meta": {"primary_key": list(table.primary_key)},
+            }
+        )
         return table
 
     def drop_table(self, name: str) -> None:
@@ -53,6 +61,7 @@ class RelationalStore(Store):
         if name not in self._tables:
             raise StoreError(f"table {name!r} does not exist in store {self.name!r}")
         del self._tables[name]
+        self._durable_log({"kind": "drop", "collection": name})
 
     def table(self, name: str) -> Table:
         """Look up a table handle by name."""
@@ -63,11 +72,17 @@ class RelationalStore(Store):
 
     def insert(self, table_name: str, rows: Sequence[Mapping[str, object] | Sequence[object]]) -> int:
         """Bulk-insert rows into a table."""
-        return self.table(table_name).insert_many(rows)
+        table = self.table(table_name)
+        records = [table._coerce(row) for row in rows]
+        count = table.insert_many(records)
+        if records:
+            self._durable_log({"kind": "rows", "collection": table_name, "rows": records})
+        return count
 
     def create_index(self, table_name: str, column: str) -> None:
         """Create a hash index on ``table_name.column``."""
         self.table(table_name).create_index(column)
+        self._durable_log({"kind": "index", "collection": table_name, "column": column})
 
     def apply_delta(
         self,
@@ -76,12 +91,63 @@ class RelationalStore(Store):
         deletes: Sequence[Mapping[str, object]] = (),
     ) -> int:
         table = self.table(collection)
-        touched = table.delete_rows(deletes)
-        touched += table.insert_many(inserts)
+        removed = [table._coerce(row) for row in deletes]
+        added = [table._coerce(row) for row in inserts]
+        touched = table.delete_rows(removed)
+        touched += table.insert_many(added)
+        if removed or added:
+            self._durable_log(
+                {
+                    "kind": "delta",
+                    "collection": collection,
+                    "inserts": added,
+                    "deletes": removed,
+                }
+            )
         return touched
 
     def truncate_collection(self, collection: str) -> None:
         self.table(collection).truncate()
+        self._durable_log({"kind": "truncate", "collection": collection})
+
+    # -- durability hooks --------------------------------------------------------
+    def _durable_replay(self, record: Mapping[str, object]) -> None:
+        kind = record.get("kind")
+        collection = record.get("collection")
+        if kind == "create":
+            if collection not in self._tables:
+                meta = record.get("meta") or {}
+                self.create_table(
+                    collection, record["columns"], primary_key=meta.get("primary_key", ())
+                )
+        elif kind == "rows":
+            self.insert(collection, record["rows"])
+        elif kind == "delta":
+            self.apply_delta(
+                collection,
+                inserts=record.get("inserts", ()),
+                deletes=record.get("deletes", ()),
+            )
+        elif kind == "truncate":
+            self.truncate_collection(collection)
+        elif kind == "index":
+            self.create_index(collection, record["column"])
+        elif kind == "drop":
+            if collection in self._tables:
+                self.drop_table(collection)
+
+    def _durable_dump(self) -> Mapping[str, Mapping[str, object]]:
+        return {
+            name: {
+                "columns": table.columns,
+                "meta": {
+                    "primary_key": list(table.primary_key),
+                    "indexes": sorted(table.indexes()),
+                },
+                "rows": [dict(row) for row in table.rows],
+            }
+            for name, table in self._tables.items()
+        }
 
     # -- store interface ------------------------------------------------------------
     def capabilities(self) -> StoreCapabilities:
@@ -186,6 +252,17 @@ class RelationalStore(Store):
                 candidate_positions = positions
 
         if candidate_positions is None:
+            # No index narrows this scan: serve it from the durable segments
+            # when they exist — zone maps skip whole segments a predicate
+            # provably excludes, which a heap walk cannot.
+            backing = self._durable_scan_source(request)
+            if backing is not None:
+                return backing.scan_batches(
+                    request,
+                    columns,
+                    batch_size,
+                    evaluate=lambda row, predicate: predicate.evaluate(row),
+                )
             candidates: Sequence[dict[str, object]] = table.rows
         else:
             candidates = [table.row_at(p) for p in candidate_positions]

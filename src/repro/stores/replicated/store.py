@@ -345,6 +345,47 @@ class ReplicatedStore(Store):
             if indexer is not None and collection in target.collections():
                 indexer(collection, column)
 
+    # -- durable fan-out ----------------------------------------------------------------
+    def attach_durable(self, backing) -> None:
+        """Give every replica its own backing subdirectory (``replica-<i>``).
+
+        Writes already fan out to all replicas, so each replica's own write
+        path logs into its child backing; the router holds the parent handle
+        only as a namespace.
+        """
+        if self._durable is not None:
+            raise StoreError(f"store {self.name!r} already has a durable backing")
+        for index, replica in enumerate(self._replicas):
+            target = getattr(replica, "fault_target", replica)
+            target.attach_durable(backing.child(f"replica-{index}"))
+        self._durable = backing
+
+    def compact_durable(self):
+        reports = []
+        for replica in self._replicas:
+            target = getattr(replica, "fault_target", replica)
+            report = target.compact_durable()
+            if report:
+                reports.append(report)
+        if not reports:
+            return None
+        return {
+            "generation": max(report["generation"] for report in reports),
+            "segments_written": sum(report["segments_written"] for report in reports),
+            "wal_records_folded": sum(report["wal_records_folded"] for report in reports),
+            "collections": sorted(
+                {name for report in reports for name in report["collections"]}
+            ),
+        }
+
+    def segment_scan_fraction(self, collection: str, bounds) -> float | None:
+        for replica in self._replicas:
+            target = getattr(replica, "fault_target", replica)
+            fraction = target.segment_scan_fraction(collection, bounds)
+            if fraction is not None:
+                return fraction
+        return None
+
     # -- store interface ---------------------------------------------------------------
     def capabilities(self) -> StoreCapabilities:
         template = self._replicas[0].capabilities()

@@ -1,0 +1,199 @@
+"""Self-describing binary encoding for segment and WAL payloads.
+
+The durable backing persists exactly the values the simulated stores hold in
+memory: JSON-ish trees of ``None`` / ``bool`` / ``int`` / ``float`` / ``str``
+/ ``bytes`` / lists / tuples / dicts.  The codec is tag-based so a value
+round-trips to the *same* Python type (``True`` never becomes ``1``, a tuple
+never becomes a list) — the differential harness compares bags of raw values
+and would catch any coercion.
+
+Two deliberate choices:
+
+* **Arbitrary-precision ints.**  Integers are encoded via
+  ``int.to_bytes(..., signed=True)`` with a length prefix, so Python's
+  unbounded ints survive (hypothesis loves 2**80).
+* **The ABSENT sentinel.**  Document stores distinguish "key missing from
+  the document" from "key stored with value None"; a columnar segment must
+  too, because freezing a collection of ragged documents widens every row to
+  the union of top-level keys.  ``ABSENT`` fills the holes on disk and is
+  dropped again on reconstruction.  Scans treat it as ``None`` (matching
+  ``document.get(column)`` semantics).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.errors import SegmentCorruptError
+
+__all__ = ["ABSENT", "encode_value", "decode_value", "decode_stream"]
+
+
+class _Absent:
+    """Singleton marking a key absent from a document (not a stored None)."""
+
+    _instance: "_Absent | None" = None
+
+    def __new__(cls) -> "_Absent":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "<ABSENT>"
+
+    def __reduce__(self):  # keep singleton identity across pickling
+        return (_Absent, ())
+
+
+ABSENT = _Absent()
+
+_TAG_NONE = 0x00
+_TAG_TRUE = 0x01
+_TAG_FALSE = 0x02
+_TAG_INT = 0x03
+_TAG_FLOAT = 0x04
+_TAG_STR = 0x05
+_TAG_BYTES = 0x06
+_TAG_LIST = 0x07
+_TAG_TUPLE = 0x08
+_TAG_DICT = 0x09
+_TAG_ABSENT = 0x0A
+
+_U32 = struct.Struct("<I")
+_F64 = struct.Struct("<d")
+
+
+def _encode(value: object, out: bytearray) -> None:
+    if value is None:
+        out.append(_TAG_NONE)
+    elif value is ABSENT:
+        out.append(_TAG_ABSENT)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif isinstance(value, int):
+        payload = value.to_bytes((value.bit_length() + 8) // 8 or 1, "little", signed=True)
+        out.append(_TAG_INT)
+        out += _U32.pack(len(payload))
+        out += payload
+    elif isinstance(value, float):
+        out.append(_TAG_FLOAT)
+        out += _F64.pack(value)
+    elif isinstance(value, str):
+        payload = value.encode("utf-8")
+        out.append(_TAG_STR)
+        out += _U32.pack(len(payload))
+        out += payload
+    elif isinstance(value, bytes):
+        out.append(_TAG_BYTES)
+        out += _U32.pack(len(value))
+        out += value
+    elif isinstance(value, (list, tuple)):
+        out.append(_TAG_LIST if isinstance(value, list) else _TAG_TUPLE)
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode(item, out)
+    elif isinstance(value, dict):
+        out.append(_TAG_DICT)
+        out += _U32.pack(len(value))
+        for key, item in value.items():
+            _encode(key, out)
+            _encode(item, out)
+    else:
+        raise SegmentCorruptError(
+            f"value of type {type(value).__name__!r} is not durable-encodable"
+        )
+
+
+def encode_value(value: object) -> bytes:
+    """Encode one value tree to bytes."""
+    out = bytearray()
+    _encode(value, out)
+    return bytes(out)
+
+
+def _need(buffer: bytes, offset: int, count: int) -> None:
+    if offset + count > len(buffer):
+        raise SegmentCorruptError(
+            f"short read: wanted {count} bytes at offset {offset}, "
+            f"buffer holds {len(buffer)}"
+        )
+
+
+def _decode(buffer: bytes, offset: int) -> tuple[object, int]:
+    _need(buffer, offset, 1)
+    tag = buffer[offset]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_ABSENT:
+        return ABSENT, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_INT:
+        _need(buffer, offset, 4)
+        (length,) = _U32.unpack_from(buffer, offset)
+        offset += 4
+        _need(buffer, offset, length)
+        value = int.from_bytes(buffer[offset : offset + length], "little", signed=True)
+        return value, offset + length
+    if tag == _TAG_FLOAT:
+        _need(buffer, offset, 8)
+        (value,) = _F64.unpack_from(buffer, offset)
+        return value, offset + 8
+    if tag == _TAG_STR or tag == _TAG_BYTES:
+        _need(buffer, offset, 4)
+        (length,) = _U32.unpack_from(buffer, offset)
+        offset += 4
+        _need(buffer, offset, length)
+        payload = buffer[offset : offset + length]
+        offset += length
+        if tag == _TAG_STR:
+            try:
+                return payload.decode("utf-8"), offset
+            except UnicodeDecodeError as exc:
+                raise SegmentCorruptError(f"corrupt utf-8 payload: {exc}") from exc
+        return bytes(payload), offset
+    if tag == _TAG_LIST or tag == _TAG_TUPLE:
+        _need(buffer, offset, 4)
+        (count,) = _U32.unpack_from(buffer, offset)
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = _decode(buffer, offset)
+            items.append(item)
+        return (items if tag == _TAG_LIST else tuple(items)), offset
+    if tag == _TAG_DICT:
+        _need(buffer, offset, 4)
+        (count,) = _U32.unpack_from(buffer, offset)
+        offset += 4
+        record: dict = {}
+        for _ in range(count):
+            key, offset = _decode(buffer, offset)
+            item, offset = _decode(buffer, offset)
+            record[key] = item
+        return record, offset
+    raise SegmentCorruptError(f"unknown value tag 0x{tag:02x} at offset {offset - 1}")
+
+
+def decode_value(buffer: bytes) -> object:
+    """Decode one value tree; the buffer must hold exactly one value."""
+    value, offset = _decode(buffer, 0)
+    if offset != len(buffer):
+        raise SegmentCorruptError(
+            f"trailing garbage: {len(buffer) - offset} bytes after value"
+        )
+    return value
+
+
+def decode_stream(buffer: bytes) -> Iterator[object]:
+    """Decode values back-to-back until the buffer is exhausted."""
+    offset = 0
+    while offset < len(buffer):
+        value, offset = _decode(buffer, offset)
+        yield value

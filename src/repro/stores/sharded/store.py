@@ -233,6 +233,46 @@ class ShardedStore(Store):
             if collection in child.collections():
                 child.truncate_collection(collection)
 
+    # -- durable fan-out ----------------------------------------------------------------
+    def attach_durable(self, backing) -> None:
+        """Give every shard its own backing subdirectory (``shard-<i>``).
+
+        The router never logs records itself — all writes go through the
+        children, whose own write paths log — so the parent backing is only
+        a directory namespace plus the handle ``durable_backing`` reports.
+        """
+        if self._durable is not None:
+            raise StoreError(f"store {self.name!r} already has a durable backing")
+        for index, child in enumerate(self._shards):
+            child.attach_durable(backing.child(f"shard-{index}"))
+        self._durable = backing
+
+    def compact_durable(self):
+        reports = [child.compact_durable() for child in self._shards]
+        reports = [report for report in reports if report]
+        if not reports:
+            return None
+        return {
+            "generation": max(report["generation"] for report in reports),
+            "segments_written": sum(report["segments_written"] for report in reports),
+            "wal_records_folded": sum(report["wal_records_folded"] for report in reports),
+            "collections": sorted(
+                {name for report in reports for name in report["collections"]}
+            ),
+        }
+
+    def segment_scan_fraction(self, collection: str, bounds) -> float | None:
+        fractions = [
+            fraction
+            for fraction in (
+                child.segment_scan_fraction(collection, bounds) for child in self._shards
+            )
+            if fraction is not None
+        ]
+        if not fractions:
+            return None
+        return sum(fractions) / len(fractions)
+
     # -- store interface ---------------------------------------------------------------
     def capabilities(self) -> StoreCapabilities:
         template = self._shards[0].capabilities()

@@ -7,10 +7,17 @@ and operators can use both to rehearse failure and overload drills against a
 deployment.
 """
 
-from repro.testing.faults import FaultInjector, FaultProfile
+from repro.testing.faults import (
+    DiskFaultInjector,
+    DiskFaultProfile,
+    FaultInjector,
+    FaultProfile,
+)
 from repro.testing.workload import LoadReport, OpenLoopDriver, WorkloadQuery, percentile
 
 __all__ = [
+    "DiskFaultInjector",
+    "DiskFaultProfile",
     "FaultInjector",
     "FaultProfile",
     "LoadReport",

@@ -25,16 +25,17 @@ flaky data path.
 
 from __future__ import annotations
 
+import os
 import random
 import threading
 from dataclasses import dataclass, replace
 from typing import Iterator, Mapping, Sequence
 
-from repro.errors import StoreCrashedError, TransientStoreError
+from repro.errors import SimulatedCrashError, StoreCrashedError, TransientStoreError
 from repro.runtime.parallel import interruptible_sleep
 from repro.stores.base import Store, StoreMetrics, StoreRequest, StoreResult
 
-__all__ = ["FaultProfile", "FaultInjector"]
+__all__ = ["FaultProfile", "FaultInjector", "DiskFaultProfile", "DiskFaultInjector"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -81,6 +82,131 @@ class _Decision:
     error: bool = False
     slow_seconds: float = 0.0
     mid_stream_after: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class DiskFaultProfile:
+    """The seeded disk-fault schedule of one :class:`DiskFaultInjector`.
+
+    ``crash_window_rate`` is the probability a WAL append dies inside the
+    write/fsync window (a :class:`~repro.errors.SimulatedCrashError` at a
+    seeded point: before the write lands, after the write but before fsync,
+    or right after fsync returns — the three states a real power cut leaves
+    behind); ``torn_tail_rate``/``short_read_rate`` drive the file-mangling
+    helpers (:meth:`DiskFaultInjector.tear_wal_tail`,
+    :meth:`DiskFaultInjector.shorten_file`), which recovery tests apply
+    between "crash" and "restart".
+    """
+
+    seed: int = 0
+    crash_window_rate: float = 0.0
+    torn_tail_rate: float = 0.0
+    short_read_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("crash_window_rate", "torn_tail_rate", "short_read_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value!r}")
+
+    @classmethod
+    def none(cls, seed: int = 0) -> "DiskFaultProfile":
+        """A profile injecting nothing."""
+        return cls(seed=seed)
+
+    def with_seed(self, seed: int) -> "DiskFaultProfile":
+        """The same fault rates under a different seed."""
+        return replace(self, seed=seed)
+
+
+class DiskFaultInjector:
+    """Seeded disk faults for the durable segment engine.
+
+    Mirrors :class:`FaultInjector`'s reproducibility contract: one
+    ``random.Random(seed)`` advanced in a *fixed draw order* per event, so a
+    given seed produces the same crash/tear schedule regardless of which
+    rates are enabled.  :meth:`crash_hook` plugs into
+    :class:`~repro.stores.segment.WriteAheadLog`'s ``crash_hook=`` parameter;
+    the file-mangling helpers simulate what the crash left on disk.
+    """
+
+    _CRASH_POINTS = ("pre_write", "pre_sync", "post_sync")
+
+    def __init__(self, profile: DiskFaultProfile | None = None) -> None:
+        self._profile = profile or DiskFaultProfile.none()
+        self._rng = random.Random(self._profile.seed)
+        self._lock = threading.Lock()
+        self._armed_point: str | None = None
+        self._injected = {"crashes": 0, "torn_tails": 0, "short_reads": 0}
+
+    @property
+    def profile(self) -> DiskFaultProfile:
+        """The active disk-fault profile."""
+        return self._profile
+
+    def injection_report(self) -> Mapping[str, int]:
+        """How many disk faults of each kind have been injected so far."""
+        with self._lock:
+            return dict(self._injected)
+
+    def crash_hook(self, point: str) -> None:
+        """WAL append callback: maybe die at ``point`` in the fsync window.
+
+        The schedule advances once per append (on ``pre_write``): always two
+        draws — whether this append crashes, and at which of the three window
+        points — so enabling other fault dimensions never shifts the crash
+        schedule.
+        """
+        with self._lock:
+            if point == "pre_write":
+                crash_draw = self._rng.random()
+                point_draw = self._rng.randrange(len(self._CRASH_POINTS))
+                if crash_draw < self._profile.crash_window_rate:
+                    self._armed_point = self._CRASH_POINTS[point_draw]
+                else:
+                    self._armed_point = None
+            if self._armed_point == point:
+                self._armed_point = None
+                self._injected["crashes"] += 1
+                raise SimulatedCrashError(
+                    f"simulated crash in the WAL fsync window at {point!r}"
+                )
+
+    def tear_wal_tail(self, path: str) -> bool:
+        """Maybe truncate the file's final bytes (a torn last WAL record).
+
+        Draws once; on injection cuts a seeded 1..N-byte suffix off the file,
+        leaving a partial frame that recovery must silently drop.  Returns
+        whether a tear was injected.
+        """
+        with self._lock:
+            tear_draw = self._rng.random()
+            size = os.path.getsize(path)
+            cut = self._rng.randrange(1, max(2, min(size, 12)))
+            if tear_draw >= self._profile.torn_tail_rate or size == 0:
+                return False
+            self._injected["torn_tails"] += 1
+        with open(path, "r+b") as handle:
+            handle.truncate(max(0, size - cut))
+        return True
+
+    def shorten_file(self, path: str) -> bool:
+        """Maybe cut a seeded chunk off a file (a short read of a segment).
+
+        Segment readers must surface the damage as
+        :class:`~repro.errors.SegmentCorruptError`, never as silent partial
+        data.  Returns whether a cut was injected.
+        """
+        with self._lock:
+            short_draw = self._rng.random()
+            size = os.path.getsize(path)
+            cut = self._rng.randrange(1, max(2, size))
+            if short_draw >= self._profile.short_read_rate or size == 0:
+                return False
+            self._injected["short_reads"] += 1
+        with open(path, "r+b") as handle:
+            handle.truncate(max(0, size - cut))
+        return True
 
 
 class FaultInjector(Store):
@@ -188,6 +314,23 @@ class FaultInjector(Store):
     def truncate_collection(self, collection: str) -> None:
         self._check_alive()
         self._inner.truncate_collection(collection)
+
+    # -- durable plumbing --------------------------------------------------------------
+    # Also explicit: these live on the Store base class, so attribute lookup
+    # never reaches ``__getattr__``.  Attach/report/compact are maintenance
+    # operations (like ``create_index``) and bypass injection; the child does
+    # the logging, so the wrapper holds no backing of its own.
+    def attach_durable(self, backing) -> None:
+        self._inner.attach_durable(backing)
+
+    def durable_backing(self):
+        return self._inner.durable_backing()
+
+    def compact_durable(self):
+        return self._inner.compact_durable()
+
+    def segment_scan_fraction(self, collection: str, bounds) -> float | None:
+        return self._inner.segment_scan_fraction(collection, bounds)
 
     # -- the fault schedule ----------------------------------------------------------
     def _check_alive(self) -> None:

@@ -98,6 +98,27 @@ class LoadReport:
         within = sum(1 for latency in self.latencies_seconds if latency <= self.slo_seconds)
         return within / self.submitted
 
+    @property
+    def p50_seconds(self) -> float:
+        """Median completion latency."""
+        return percentile(self.latencies_seconds, 0.50)
+
+    @property
+    def p99_seconds(self) -> float:
+        """99th-percentile completion latency."""
+        return percentile(self.latencies_seconds, 0.99)
+
+    @property
+    def p999_seconds(self) -> float:
+        """99.9th-percentile completion latency — the deep-tail the recovery
+        benchmarks track (one slow durable recovery or compaction pause shows
+        up here long before it moves the p99)."""
+        return percentile(self.latencies_seconds, 0.999)
+
+    def as_dict(self) -> Mapping[str, object]:
+        """JSON-friendly report (alias of :meth:`describe`, benchmark-facing)."""
+        return self.describe()
+
     def describe(self) -> Mapping[str, object]:
         return {
             "offered_qps": self.offered_qps,
@@ -114,9 +135,9 @@ class LoadReport:
             "shed_rate": self.shed_rate,
             "slo_seconds": self.slo_seconds,
             "slo_attainment": self.slo_attainment,
-            "p50_seconds": percentile(self.latencies_seconds, 0.50),
-            "p99_seconds": percentile(self.latencies_seconds, 0.99),
-            "p999_seconds": percentile(self.latencies_seconds, 0.999),
+            "p50_seconds": self.p50_seconds,
+            "p99_seconds": self.p99_seconds,
+            "p999_seconds": self.p999_seconds,
             "max_seconds": max(self.latencies_seconds, default=0.0),
         }
 

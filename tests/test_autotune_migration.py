@@ -619,3 +619,65 @@ class TestAutotune:
             assert service.autotune_reports()
         # close() stopped the loop; stop is idempotent.
         service.stop_autotune()
+
+
+# ---------------------------------------------------------------------------
+# Cold-fragment retirement (policy opt-in)
+# ---------------------------------------------------------------------------
+
+
+COLD_POLICY = AutotunePolicy(
+    min_reads=5,
+    hot_read_share=0.3,
+    hot_latency_seconds=0.001,
+    cold_after_reads=10,
+    retire_cold=True,
+)
+
+
+class TestColdRetirement:
+    def _run_cold_traffic(self, est, rounds: int = 12) -> None:
+        # Orders traffic only: F_users stays unread and goes cold.
+        for _ in range(rounds):
+            est.query("SELECT uid, sku FROM orders WHERE uid = 1", dataset="app")
+
+    def test_retire_cold_plans_retirement_actions(self):
+        est = build_writable_estocada()
+        self._run_cold_traffic(est)
+        monitor = DriftMonitor(est, COLD_POLICY)
+        findings = monitor.findings()
+        actions = monitor.plan_actions(findings)
+        retirements = [a for a in actions if getattr(a, "target_store", None) is None]
+        assert [a.fragment for a in retirements] == ["F_users"]
+        described = retirements[0].describe()
+        assert described["retire"] is True
+        assert "cold_fragment" in described["reason"]
+        # Without the opt-in the same findings yield no retirement.
+        default_monitor = DriftMonitor(est, AutotunePolicy(cold_after_reads=10))
+        assert all(
+            getattr(a, "target_store", None) is not None
+            for a in default_monitor.plan_actions(findings)
+        )
+
+    def test_autotune_retires_cold_fragment_through_drop_path(self):
+        est = build_writable_estocada()
+        self._run_cold_traffic(est)
+        users_epoch = est.catalog.epoch_signature(["users"])
+        report = est.autotune(policy=COLD_POLICY)
+        retired = [r for r in report["retirements"] if r["phase"] == "retired"]
+        assert [r["fragment"] for r in retired] == ["F_users"]
+        with pytest.raises(UnknownFragmentError):
+            est.catalog.fragment("F_users")
+        # The drop went through the scoped invalidation path: the dropped
+        # fragment's relation re-epochs and queries over the surviving
+        # fragment still answer.
+        assert est.catalog.epoch_signature(["users"]) != users_epoch
+        assert _bag(est, ORDERS_SQL)
+
+    def test_autotune_report_only_keeps_cold_fragment(self):
+        est = build_writable_estocada()
+        self._run_cold_traffic(est)
+        report = est.autotune(policy=COLD_POLICY, apply=False)
+        assert any(a.get("retire") for a in report["actions"])
+        assert report["retirements"] == []
+        assert est.catalog.fragment("F_users").fragment_name == "F_users"

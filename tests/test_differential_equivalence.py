@@ -679,3 +679,152 @@ class TestServiceDifferential:
                     )
             finally:
                 service.close()
+
+
+# -- the durable profile -------------------------------------------------------------
+
+
+@contextmanager
+def _durable_env(directory, segment_rows=64):
+    """Build deployments with write-through durability into ``directory``.
+
+    ``REPRO_SEGMENT_ROWS`` is pinned low so the marketplace volumes actually
+    freeze segments — otherwise every scan would serve from the tail and the
+    zone-pruning path would go untested.
+    """
+    saved = {
+        key: os.environ.get(key) for key in ("REPRO_DURABLE", "REPRO_SEGMENT_ROWS")
+    }
+    os.environ["REPRO_DURABLE"] = str(directory)
+    os.environ["REPRO_SEGMENT_ROWS"] = str(segment_rows)
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+@pytest.fixture(scope="module")
+def durable_configurations(
+    marketplace_builder,
+    sharded_marketplace_builder,
+    replicated_marketplace_builder,
+    marketplace_data,
+    tmp_path_factory,
+):
+    """Durable deployments under test, keyed by name.
+
+    The baseline is the plain in-memory multi-store deployment; every other
+    entry writes through a WAL + columnar-segment backing (one per-store
+    subdirectory under a fresh tmpdir), so scans are served from frozen
+    segments with zone-map pruning wherever no index applies.  The chaos
+    entry layers seeded replica fault injection *on top of* durability.
+    """
+    root = tmp_path_factory.mktemp("durable-differential")
+    with _durable_env(root / "serial"):
+        serial = marketplace_builder(marketplace_data)
+    with _durable_env(root / "sharded"):
+        sharded = sharded_marketplace_builder(marketplace_data, shards=4)
+    with _durable_env(root / "chaos"):
+        chaos = replicated_marketplace_builder(
+            marketplace_data,
+            profiles={
+                i: FaultProfile(seed=CHAOS_SEED * 307 + i, error_rate=0.25)
+                for i in range(3)
+            },
+            policy=ReplicationPolicy(max_retries=4),
+        )
+    return {
+        "baseline": (marketplace_builder(marketplace_data), 1),
+        "durable_serial": (serial, 1),
+        "durable_sharded": (sharded, 4),
+        "durable_chaos": (chaos, 4),
+    }
+
+
+class TestDurableDifferential:
+    """Serving scans from durable segments never changes an answer.
+
+    Zone-map pruning, dictionary-code equality and tail merging change how
+    rows are produced (and in what order the segments stream) — the bag must
+    stay identical to the in-memory heap walk, for every deployment shape
+    and with replica faults layered on top.
+    """
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(case=sql_queries())
+    def test_durable_queries_agree_with_in_memory_baseline(
+        self, durable_configurations, case
+    ):
+        sql, limit = case
+        reference_est, _ = durable_configurations["baseline"]
+        if limit is None:
+            expected = _bag(reference_est.query(sql, dataset="shop", parallelism=1).rows)
+            for name, (est, parallelism) in durable_configurations.items():
+                got = _bag(est.query(sql, dataset="shop", parallelism=parallelism).rows)
+                assert got == expected, f"{name} diverged on {sql!r}"
+        else:
+            full_sql = sql[: sql.rindex(" LIMIT ")]
+            full = _bag(reference_est.query(full_sql, dataset="shop", parallelism=1).rows)
+            expected_count = min(limit, sum(full.values()))
+            for name, (est, parallelism) in durable_configurations.items():
+                result = est.query(sql, dataset="shop", parallelism=parallelism)
+                assert len(result.rows) == expected_count, f"{name} wrong count on {sql!r}"
+                got = _bag(result.rows)
+                assert all(got[key] <= full[key] for key in got), (
+                    f"{name} returned rows outside the full answer on {sql!r}"
+                )
+
+    def test_durable_deployments_actually_touch_segments(self, durable_configurations):
+        from repro.runtime.batch import compiled_enabled
+        from repro.stores.segment.backing import segment_scan_enabled
+
+        if not compiled_enabled() or not segment_scan_enabled():
+            # Segment-served scans ride the native batch pipeline; the
+            # interpreted fallback (and REPRO_SEGMENT_SCAN=0) keep durability
+            # but answer from memory — equivalence is pinned by the property
+            # above, there is just no segment activity to assert here.
+            pytest.skip("segment-served scans need the compiled path enabled")
+        est, parallelism = durable_configurations["durable_serial"]
+        result = est.query(
+            "SELECT sku, price FROM purchases WHERE category = 'shoes'",
+            dataset="shop",
+            parallelism=parallelism,
+        )
+        activity = result.summary()["segments"]
+        assert activity["scanned"] >= 1  # the durable path, not the heap walk
+        baseline_est, _ = durable_configurations["baseline"]
+        baseline = baseline_est.query(
+            "SELECT sku, price FROM purchases WHERE category = 'shoes'",
+            dataset="shop",
+            parallelism=1,
+        )
+        assert baseline.summary()["segments"] == {
+            "scanned": 0,
+            "skipped": 0,
+            "rows_decoded": 0,
+        }
+
+    def test_compaction_preserves_every_answer(self, durable_configurations):
+        est, parallelism = durable_configurations["durable_serial"]
+        queries = [
+            "SELECT uid, name FROM users WHERE city = 'paris'",
+            "SELECT uid, sku, price FROM purchases WHERE price > 250",
+            "SELECT category, COUNT(sku) AS n FROM purchases GROUP BY category",
+        ]
+        before = {
+            sql: _bag(est.query(sql, dataset="shop", parallelism=parallelism).rows)
+            for sql in queries
+        }
+        reports = est.compact()
+        assert reports  # at least one store folded its WAL
+        for sql in queries:
+            after = _bag(est.query(sql, dataset="shop", parallelism=parallelism).rows)
+            assert after == before[sql], f"compaction changed the answer to {sql!r}"
